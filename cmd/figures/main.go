@@ -1,0 +1,167 @@
+// Command figures regenerates machine-produced counterparts of the
+// paper's illustrative figures into an output directory:
+//
+//	fig1_*.dot   spanning-star snapshots (initial / mid / stable)
+//	fig2.dot     a typical Simple-Global-Line configuration
+//	fig3.txt     the generic-constructor loop trace (Fig. 3)
+//	fig4.dot     the U/D partition with its perfect matching
+//	fig7.dot     the U/D/M three-way partition
+//	fig8.txt     the (U,D,M) construction event trace
+//	supernodes.txt  the Theorem 18 layout and triangle application
+//
+// Usage: figures [-n 16] [-seed 1] [-out figures/]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/protocols"
+	"repro/internal/tm"
+	"repro/internal/trace"
+	"repro/internal/universal"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n    = flag.Int("n", 16, "population size for snapshots")
+		seed = flag.Uint64("seed", 1, "RNG seed")
+		out  = flag.String("out", "figures", "output directory")
+	)
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+
+	if err := fig1(*n, *seed, *out); err != nil {
+		return err
+	}
+	if err := fig2(*n, *seed, *out); err != nil {
+		return err
+	}
+	if err := fig3(*n, *seed, *out); err != nil {
+		return err
+	}
+	if err := partitions(*n, *seed, *out); err != nil {
+		return err
+	}
+	return supernodes(*seed, *out)
+}
+
+// fig1 reproduces the spanning-star triptych: all-black start, a
+// mid-run configuration with several surviving centers, and the stable
+// star.
+func fig1(n int, seed uint64, out string) error {
+	c := protocols.GlobalStar()
+	rec := trace.NewRecorder(256)
+	res, err := core.Run(c.Proto, n, core.Options{Seed: seed, Detector: c.Detector, Observer: rec})
+	if err != nil {
+		return err
+	}
+	rec.Final(res.Steps, res.Final)
+	shots := rec.Select([]float64{0, 0.5, 1})
+	names := []string{"fig1a_initial", "fig1b_intermediate", "fig1c_stable"}
+	for i, s := range shots {
+		if err := writeFile(out, names[i]+".dot", s.DOT(names[i])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fig2 captures a typical mid-run Simple-Global-Line configuration:
+// several disjoint lines with l- or w-leaders plus isolated q0 nodes.
+func fig2(n int, seed uint64, out string) error {
+	c := protocols.SimpleGlobalLine()
+	rec := trace.NewRecorder(256)
+	res, err := core.Run(c.Proto, n, core.Options{Seed: seed, Detector: c.Detector, Observer: rec})
+	if err != nil {
+		return err
+	}
+	rec.Final(res.Steps, res.Final)
+	shots := rec.Select([]float64{0.4})
+	return writeFile(out, "fig2.dot", shots[0].DOT("fig2"))
+}
+
+// fig3 logs the generic constructor's accept/retry loop on a real run.
+func fig3(n int, seed uint64, out string) error {
+	var log trace.EventLog
+	res, err := universal.LinearWasteHalf(tm.Connected(), n, seed)
+	if err != nil {
+		return err
+	}
+	log.Addf("construct G1 on k=%d nodes (line-as-TM), useful space %d", n/2, len(res.UsefulNodes))
+	for _, ph := range res.PhaseSteps {
+		log.Addf("phase %-16s %12d steps", ph.Name, ph.Steps)
+	}
+	log.Addf("random draws until the TM accepted: %d", res.Attempts)
+	log.Addf("output: %v", res.Output)
+	return writeFile(out, "fig3.txt", log.String()+"\n")
+}
+
+// partitions renders the U/D matching (Fig. 4) and the U/D/M
+// partition (Figs. 7–8).
+func partitions(n int, seed uint64, out string) error {
+	p, det := universal.PartitionUD()
+	res, err := core.Run(p, n, core.Options{Seed: seed, Detector: det})
+	if err != nil {
+		return err
+	}
+	if err := writeFile(out, "fig4.dot", configDOT(p, res.Final, "fig4")); err != nil {
+		return err
+	}
+
+	p3, det3 := universal.PartitionUDM()
+	res3, err := core.Run(p3, n+n%3, core.Options{Seed: seed, Detector: det3})
+	if err != nil {
+		return err
+	}
+	if err := writeFile(out, "fig7.dot", configDOT(p3, res3.Final, "fig7")); err != nil {
+		return err
+	}
+	var log trace.EventLog
+	log.Addf("U/D/M partition on n=%d: converged at step %d (%d effective)",
+		res3.Final.N(), res3.ConvergenceTime, res3.EffectiveSteps)
+	counts := res3.Final.CountAll(nil)
+	for s, c := range counts {
+		log.Addf("state %-4s × %d", p3.StateName(core.State(s)), c)
+	}
+	return writeFile(out, "fig8.txt", log.String()+"\n")
+}
+
+func supernodes(seed uint64, out string) error {
+	res, err := universal.Supernodes(64, seed)
+	if err != nil {
+		return err
+	}
+	var log trace.EventLog
+	log.Addf("supernodes: K=%d lines of length %d, waste %d", res.K, res.LineLen, res.Waste)
+	for i, line := range res.Lines {
+		log.Addf("supernode %2d (name %0*b): nodes %v", i, res.LineLen, res.Names[i], line)
+	}
+	log.Addf("triangle application: %d triangles", res.Triangles)
+	log.Addf("supernode-level graph: %v", res.SupernodeGraph)
+	return writeFile(out, "supernodes.txt", log.String()+"\n")
+}
+
+func configDOT(p *core.Protocol, cfg *core.Config, name string) string {
+	labels := make([]string, cfg.N())
+	for u := 0; u < cfg.N(); u++ {
+		labels[u] = p.StateName(cfg.Node(u))
+	}
+	return protocols.ActiveGraph(cfg).DOT(name, labels)
+}
+
+func writeFile(dir, name, content string) error {
+	return os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644)
+}

@@ -1,0 +1,87 @@
+// Command netsim runs any registered network constructor on a
+// population and reports convergence statistics (and optionally the
+// final network as DOT).
+//
+// Usage:
+//
+//	netsim -protocol global-star -n 50 -trials 5 -seed 1 [-dot]
+//	netsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/protocols"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "netsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		name   = flag.String("protocol", "global-star", "protocol name (see -list)")
+		n      = flag.Int("n", 50, "population size")
+		trials = flag.Int("trials", 3, "independent runs")
+		seed   = flag.Uint64("seed", 1, "base RNG seed")
+		dot    = flag.Bool("dot", false, "print the final network as Graphviz DOT")
+		list   = flag.Bool("list", false, "list registered protocols and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range protocols.Names() {
+			c, err := protocols.Lookup(name)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-20s %2d states  →  %s\n", name, c.Proto.Size(), c.Target)
+		}
+		return nil
+	}
+
+	c, err := protocols.Lookup(*name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("protocol %s (%d states) on n=%d, %d trial(s)\n",
+		c.Proto.Name(), c.Proto.Size(), *n, *trials)
+
+	times := make([]float64, 0, *trials)
+	var last core.Result
+	for t := 0; t < *trials; t++ {
+		res, err := core.Run(c.Proto, *n, core.Options{Seed: *seed + uint64(t), Detector: c.Detector})
+		if err != nil {
+			return err
+		}
+		if !res.Converged {
+			fmt.Printf("  trial %d: DID NOT CONVERGE within %d steps\n", t, res.Steps)
+			continue
+		}
+		fmt.Printf("  trial %d: converged at step %d (%d effective, %d edge changes)\n",
+			t, res.ConvergenceTime, res.EffectiveSteps, res.EdgeChanges)
+		times = append(times, float64(res.ConvergenceTime))
+		last = res
+	}
+	if len(times) > 0 {
+		s := stats.Summarize(times)
+		fmt.Printf("mean convergence time: %.0f ± %.0f steps (min %.0f, max %.0f)\n",
+			s.Mean, s.StdErr(), s.Min, s.Max)
+	}
+	if *dot && last.Final != nil {
+		g := protocols.ActiveGraph(last.Final)
+		labels := make([]string, last.Final.N())
+		for u := 0; u < last.Final.N(); u++ {
+			labels[u] = c.Proto.StateName(last.Final.Node(u))
+		}
+		fmt.Println(g.DOT(c.Proto.Name(), labels))
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+// Quickstart: define a network constructor, run it under the uniform
+// random scheduler, and inspect the stable network it builds.
+//
+// This runs the paper's 2-state Global-Star protocol — the
+// black/red particle system from the introduction — on 40 nodes:
+// centers eliminate each other, center–peripheral pairs attract, and
+// peripheral–peripheral pairs repel, until a unique center is joined
+// to everyone else.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/protocols"
+)
+
+func main() {
+	star := protocols.GlobalStar()
+	fmt.Printf("protocol %q: %d states, %d rules\n",
+		star.Proto.Name(), star.Proto.Size(), len(star.Proto.Rules()))
+	for _, r := range star.Proto.Rules() {
+		fmt.Printf("  (%s, %s, %v) → (%s, %s, %v)\n",
+			star.Proto.StateName(r.A), star.Proto.StateName(r.B), b2i(r.Edge),
+			star.Proto.StateName(r.OutA), star.Proto.StateName(r.OutB), b2i(r.OutEdge))
+	}
+
+	const n = 40
+	res, err := core.Run(star.Proto, n, core.Options{Seed: 42, Detector: star.Detector})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Converged {
+		log.Fatalf("no convergence within %d steps", res.Steps)
+	}
+
+	g := protocols.ActiveGraph(res.Final)
+	fmt.Printf("\nconverged at interaction %d (%d effective steps, %d edge changes)\n",
+		res.ConvergenceTime, res.EffectiveSteps, res.EdgeChanges)
+	fmt.Printf("stable network: spanning star = %v, %d edges on %d nodes\n",
+		g.IsSpanningStar(), g.M(), g.N())
+	for u := 0; u < n; u++ {
+		if res.Final.Degree(u) == n-1 {
+			fmt.Printf("center: node %d (state %s)\n", u, star.Proto.StateName(res.Final.Node(u)))
+		}
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,265 @@
+// Package check is an exhaustive model checker for network
+// constructors on small populations. It explores the full reachable
+// configuration space (every interleaving any fair scheduler could
+// produce, including every probabilistic branch) and verifies the
+// paper's stabilization claims:
+//
+//  1. output-stability is machine-verified, not assumed: a
+//     configuration counts as output-stable only if no configuration in
+//     its forward closure has a different output graph;
+//  2. from every reachable configuration an output-stable configuration
+//     whose output satisfies the target predicate remains reachable —
+//     which, under the paper's fairness condition, implies every fair
+//     execution stabilizes to the target;
+//  3. detector soundness: every configuration accepted by a protocol's
+//     convergence detector is genuinely output-stable.
+//
+// This is strictly stronger than testing any finite set of schedules.
+package check
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Options bounds the exploration.
+type Options struct {
+	// MaxConfigs aborts exploration when the reachable space exceeds
+	// this bound (default 2,000,000).
+	MaxConfigs int
+	// Initial overrides the all-q0 initial configuration.
+	Initial *core.Config
+}
+
+// Report summarizes a verification run.
+type Report struct {
+	// Reachable is the number of distinct reachable configurations.
+	Reachable int
+	// OutputStable is the number of reachable configurations whose
+	// forward closure has a constant output graph.
+	OutputStable int
+	// TargetStable is the number of output-stable configurations whose
+	// output satisfies the target predicate.
+	TargetStable int
+	// AllReachTarget reports whether every reachable configuration can
+	// still reach a target-output-stable configuration.
+	AllReachTarget bool
+	// Counterexample describes a configuration violating the above, if
+	// any.
+	Counterexample string
+}
+
+// space is the fully explored reachable configuration space.
+type space struct {
+	configs  []*core.Config
+	succs    [][]int
+	preds    [][]int
+	unstable []bool // true: forward closure changes the output graph
+}
+
+func explore(p *core.Protocol, n int, opts Options) (*space, error) {
+	if n < 1 {
+		return nil, errors.New("check: population size must be ≥ 1")
+	}
+	maxConfigs := opts.MaxConfigs
+	if maxConfigs <= 0 {
+		maxConfigs = 2_000_000
+	}
+	initial := opts.Initial
+	if initial == nil {
+		initial = core.NewConfig(p, n)
+	} else {
+		initial = initial.Clone()
+	}
+
+	index := map[string]int{initial.Fingerprint(): 0}
+	s := &space{configs: []*core.Config{initial}}
+	for at := 0; at < len(s.configs); at++ {
+		cfg := s.configs[at]
+		var out []int
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				for _, o := range p.Outcomes(cfg.Node(u), cfg.Node(v), cfg.Edge(u, v)) {
+					next := cfg.Clone()
+					next.SetNode(u, o.OutA)
+					next.SetNode(v, o.OutB)
+					next.SetEdge(u, v, o.OutEdge)
+					fp := next.Fingerprint()
+					id, ok := index[fp]
+					if !ok {
+						id = len(s.configs)
+						if id >= maxConfigs {
+							return nil, fmt.Errorf("check: reachable space exceeds %d configurations", maxConfigs)
+						}
+						index[fp] = id
+						s.configs = append(s.configs, next)
+					}
+					out = append(out, id)
+				}
+			}
+		}
+		s.succs = append(s.succs, dedupe(out))
+	}
+
+	s.preds = invert(s.succs)
+
+	// Output-instability is the least fixed point of "some successor
+	// differs in output, or some successor is unstable".
+	outFP := make([]string, len(s.configs))
+	for i, cfg := range s.configs {
+		outFP[i] = outputFingerprint(cfg)
+	}
+	s.unstable = make([]bool, len(s.configs))
+	var queue []int
+	for i, ss := range s.succs {
+		for _, j := range ss {
+			if outFP[j] != outFP[i] {
+				s.unstable[i] = true
+				queue = append(queue, i)
+				break
+			}
+		}
+	}
+	for len(queue) > 0 {
+		j := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, i := range s.preds[j] {
+			if !s.unstable[i] {
+				s.unstable[i] = true
+				queue = append(queue, i)
+			}
+		}
+	}
+	return s, nil
+}
+
+// Verify explores the reachable configuration space of p on n nodes
+// and checks that every fair execution stabilizes to an output
+// satisfying target.
+func Verify(p *core.Protocol, n int, target func(cfg *core.Config) bool, opts Options) (Report, error) {
+	s, err := explore(p, n, opts)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{Reachable: len(s.configs)}
+	goal := make([]bool, len(s.configs))
+	var queue []int
+	for i, cfg := range s.configs {
+		if s.unstable[i] {
+			continue
+		}
+		rep.OutputStable++
+		if target(cfg) {
+			rep.TargetStable++
+			goal[i] = true
+			queue = append(queue, i)
+		}
+	}
+
+	// Backward reachability from the target-stable set.
+	canReach := make([]bool, len(s.configs))
+	for _, i := range queue {
+		canReach[i] = true
+	}
+	for len(queue) > 0 {
+		j := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, i := range s.preds[j] {
+			if !canReach[i] {
+				canReach[i] = true
+				queue = append(queue, i)
+			}
+		}
+	}
+	rep.AllReachTarget = true
+	for i := range s.configs {
+		if !canReach[i] {
+			rep.AllReachTarget = false
+			rep.Counterexample = s.configs[i].String()
+			break
+		}
+	}
+	return rep, nil
+}
+
+// DetectorSound checks that, within the reachable space, every
+// configuration accepted by the detector is genuinely output-stable
+// and that at least one accepted configuration exists. It returns the
+// number of accepted configurations.
+func DetectorSound(p *core.Protocol, n int, det core.Detector, opts Options) (int, error) {
+	s, err := explore(p, n, opts)
+	if err != nil {
+		return 0, err
+	}
+	accepted := 0
+	for i, cfg := range s.configs {
+		if !det.Stable(cfg) {
+			continue
+		}
+		accepted++
+		if s.unstable[i] {
+			return accepted, fmt.Errorf("check: detector accepts output-unstable configuration %s", cfg)
+		}
+	}
+	if accepted == 0 {
+		return 0, errors.New("check: detector accepts no reachable configuration")
+	}
+	return accepted, nil
+}
+
+func dedupe(xs []int) []int {
+	seen := make(map[int]struct{}, len(xs))
+	out := xs[:0]
+	for _, x := range xs {
+		if _, ok := seen[x]; !ok {
+			seen[x] = struct{}{}
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func invert(succs [][]int) [][]int {
+	preds := make([][]int, len(succs))
+	for i, ss := range succs {
+		for _, j := range ss {
+			preds[j] = append(preds[j], i)
+		}
+	}
+	return preds
+}
+
+// outputFingerprint encodes the output graph: Qout membership per node
+// plus the active edges whose both endpoints are output nodes.
+func outputFingerprint(cfg *core.Config) string {
+	p := cfg.Protocol()
+	n := cfg.N()
+	buf := make([]byte, 0, n/8+n*(n-1)/16+2)
+	var cur byte
+	nbits := 0
+	push := func(b bool) {
+		cur <<= 1
+		if b {
+			cur |= 1
+		}
+		nbits++
+		if nbits == 8 {
+			buf = append(buf, cur)
+			cur, nbits = 0, 0
+		}
+	}
+	for u := 0; u < n; u++ {
+		push(p.IsOutput(cfg.Node(u)))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			push(cfg.Edge(u, v) && p.IsOutput(cfg.Node(u)) && p.IsOutput(cfg.Node(v)))
+		}
+	}
+	if nbits > 0 {
+		buf = append(buf, cur)
+	}
+	return string(buf)
+}

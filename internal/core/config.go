@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config is a configuration of the system: the state of every node and
+// of every (undirected) edge of the complete interaction graph. It also
+// maintains derived aggregates — per-node active degree and per-state
+// population counts — that convergence detectors use as O(1) gates.
+type Config struct {
+	proto  *Protocol
+	n      int
+	nodes  []State
+	edges  bitset
+	degree []int32
+	counts []int // population per state
+}
+
+// NewConfig returns the initial configuration on n nodes: every node in
+// q0 and every edge inactive.
+func NewConfig(p *Protocol, n int) *Config {
+	c := &Config{
+		proto:  p,
+		n:      n,
+		nodes:  make([]State, n),
+		edges:  newBitset(pairCount(n)),
+		degree: make([]int32, n),
+		counts: make([]int, p.Size()),
+	}
+	for i := range c.nodes {
+		c.nodes[i] = p.initial
+	}
+	c.counts[p.initial] = n
+	return c
+}
+
+// Clone returns a deep copy of the configuration.
+func (c *Config) Clone() *Config {
+	d := &Config{
+		proto:  c.proto,
+		n:      c.n,
+		nodes:  make([]State, len(c.nodes)),
+		edges:  c.edges.clone(),
+		degree: make([]int32, len(c.degree)),
+		counts: make([]int, len(c.counts)),
+	}
+	copy(d.nodes, c.nodes)
+	copy(d.degree, c.degree)
+	copy(d.counts, c.counts)
+	return d
+}
+
+// Protocol returns the protocol this configuration belongs to.
+func (c *Config) Protocol() *Protocol { return c.proto }
+
+// N returns the population size.
+func (c *Config) N() int { return c.n }
+
+// Node returns the state of node u.
+func (c *Config) Node(u int) State { return c.nodes[u] }
+
+// SetNode overwrites the state of node u, maintaining counts. It is
+// intended for test setups and for protocols with non-uniform initial
+// configurations (e.g. Graph-Replication's input graph).
+func (c *Config) SetNode(u int, s State) {
+	c.counts[c.nodes[u]]--
+	c.nodes[u] = s
+	c.counts[s]++
+}
+
+// Edge reports whether the edge {u, v} is active.
+func (c *Config) Edge(u, v int) bool {
+	return c.edges.get(pairIndex(c.n, u, v))
+}
+
+// SetEdge overwrites the state of edge {u, v}, maintaining degrees.
+// Like SetNode it is for initial-configuration setup.
+func (c *Config) SetEdge(u, v int, active bool) {
+	idx := pairIndex(c.n, u, v)
+	if c.edges.get(idx) == active {
+		return
+	}
+	c.edges.set(idx, active)
+	d := int32(-1)
+	if active {
+		d = 1
+	}
+	c.degree[u] += d
+	c.degree[v] += d
+}
+
+// Degree returns the number of active edges incident to u.
+func (c *Config) Degree(u int) int { return int(c.degree[u]) }
+
+// Count returns the number of nodes currently in state s.
+func (c *Config) Count(s State) int {
+	if int(s) >= len(c.counts) {
+		return 0
+	}
+	return c.counts[s]
+}
+
+// CountAll copies the per-state population counts into dst (which must
+// have length ≥ |Q|) and returns it, allocating if dst is nil.
+func (c *Config) CountAll(dst []int) []int {
+	if dst == nil {
+		dst = make([]int, len(c.counts))
+	}
+	copy(dst, c.counts)
+	return dst
+}
+
+// ActiveEdges returns the number of active edges.
+func (c *Config) ActiveEdges() int { return c.edges.popcount() }
+
+// ActiveNeighbors appends the active neighbors of u to dst and returns
+// it.
+func (c *Config) ActiveNeighbors(u int, dst []int) []int {
+	for v := 0; v < c.n; v++ {
+		if v != u && c.Edge(u, v) {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// Apply executes one interaction on the unordered pair {u, v} using the
+// supplied random source for probabilistic choices. It returns what
+// changed so the engine can maintain metrics and trigger detection.
+//
+// The pair is treated exactly per Section 3.1: the compiled table
+// resolves orientation; when both nodes share a state and the outcomes
+// differ, the winner is drawn equiprobably.
+func (c *Config) Apply(u, v int, rng *RNG) (effective, edgeChanged bool) {
+	a, b := c.nodes[u], c.nodes[v]
+	idx := pairIndex(c.n, u, v)
+	active := c.edges.get(idx)
+	e := c.proto.lookup(a, b, active)
+	if !e.effective {
+		return false, false
+	}
+	outA, outB, outEdge := e.outA, e.outB, e.outEdge
+	if e.alt && rng.Coin() {
+		outA, outB, outEdge = e.altA, e.altB, e.altEdge
+	}
+	if e.coin && rng.Coin() {
+		outA, outB = outB, outA
+	}
+	if outA == a && outB == b && outEdge == active {
+		// A probabilistic rule may select an ineffective branch.
+		return false, false
+	}
+	if outA != a {
+		c.counts[a]--
+		c.counts[outA]++
+		c.nodes[u] = outA
+	}
+	if outB != b {
+		c.counts[b]--
+		c.counts[outB]++
+		c.nodes[v] = outB
+	}
+	if outEdge != active {
+		c.edges.set(idx, outEdge)
+		d := int32(-1)
+		if outEdge {
+			d = 1
+		}
+		c.degree[u] += d
+		c.degree[v] += d
+		edgeChanged = true
+	}
+	return true, edgeChanged
+}
+
+// Quiescent reports whether no effective transition is applicable on
+// any pair — full quiescence, a sufficient condition for stability.
+// O(n²).
+func (c *Config) Quiescent() bool {
+	for u := 0; u < c.n; u++ {
+		for v := u + 1; v < c.n; v++ {
+			if c.proto.EffectiveOn(c.nodes[u], c.nodes[v], c.Edge(u, v)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EdgeQuiescent reports whether no applicable transition would change
+// any edge state. Weaker than Quiescent: node states may still evolve
+// (e.g. a leader walking along a stable line). O(n²).
+func (c *Config) EdgeQuiescent() bool {
+	for u := 0; u < c.n; u++ {
+		for v := u + 1; v < c.n; v++ {
+			if c.proto.EdgeEffectiveOn(c.nodes[u], c.nodes[v], c.Edge(u, v)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Fingerprint returns a canonical byte encoding of the configuration
+// (node states followed by the edge bitset), suitable as a map key in
+// exhaustive state-space exploration.
+func (c *Config) Fingerprint() string {
+	var sb strings.Builder
+	sb.Grow(len(c.nodes) + len(c.edges)*8)
+	for _, s := range c.nodes {
+		sb.WriteByte(byte(s))
+	}
+	for _, w := range c.edges {
+		for shift := 0; shift < 64; shift += 8 {
+			sb.WriteByte(byte(w >> shift))
+		}
+	}
+	return sb.String()
+}
+
+// String renders the configuration compactly for debugging: node states
+// by name and the active edge list.
+func (c *Config) String() string {
+	var sb strings.Builder
+	sb.WriteString("[")
+	for u := 0; u < c.n; u++ {
+		if u > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(c.proto.StateName(c.nodes[u]))
+	}
+	sb.WriteString("] {")
+	first := true
+	for u := 0; u < c.n; u++ {
+		for v := u + 1; v < c.n; v++ {
+			if c.Edge(u, v) {
+				if !first {
+					sb.WriteByte(' ')
+				}
+				first = false
+				fmt.Fprintf(&sb, "%d-%d", u, v)
+			}
+		}
+	}
+	sb.WriteString("}")
+	return sb.String()
+}

@@ -1,0 +1,177 @@
+package core
+
+import "errors"
+
+// DynState is a node state of a dynamic protocol. Dynamic protocols
+// back the Section 6 constructions, whose composite states (TM head ×
+// tape symbol × direction marks × counters) are finite but far too
+// numerous to enumerate into a dense rule table; they encode the
+// composite into an int32 and compute δ with a function.
+type DynState int32
+
+// DynProtocol is a network constructor whose transition function is
+// computed rather than tabulated. Apply receives the unordered pair's
+// states in arbitrary orientation and must be symmetric in the model's
+// sense: implementations typically normalize orientation themselves.
+// It returns the new states (same orientation as the arguments), the
+// new edge state, and whether anything changed.
+type DynProtocol struct {
+	Name    string
+	Initial DynState
+	Apply   func(a, b DynState, edge bool, rng *RNG) (outA, outB DynState, outEdge, effective bool)
+}
+
+// DynConfig is a configuration of a dynamic protocol.
+type DynConfig struct {
+	proto  *DynProtocol
+	n      int
+	nodes  []DynState
+	edges  bitset
+	degree []int32
+}
+
+// NewDynConfig returns the all-initial configuration on n nodes.
+func NewDynConfig(p *DynProtocol, n int) *DynConfig {
+	c := &DynConfig{
+		proto:  p,
+		n:      n,
+		nodes:  make([]DynState, n),
+		edges:  newBitset(pairCount(n)),
+		degree: make([]int32, n),
+	}
+	for i := range c.nodes {
+		c.nodes[i] = p.Initial
+	}
+	return c
+}
+
+// N returns the population size.
+func (c *DynConfig) N() int { return c.n }
+
+// Node returns the state of node u.
+func (c *DynConfig) Node(u int) DynState { return c.nodes[u] }
+
+// SetNode overwrites the state of node u (initial-configuration setup).
+func (c *DynConfig) SetNode(u int, s DynState) { c.nodes[u] = s }
+
+// Edge reports whether edge {u, v} is active.
+func (c *DynConfig) Edge(u, v int) bool { return c.edges.get(pairIndex(c.n, u, v)) }
+
+// SetEdge overwrites edge {u, v} (initial-configuration setup).
+func (c *DynConfig) SetEdge(u, v int, active bool) {
+	idx := pairIndex(c.n, u, v)
+	if c.edges.get(idx) == active {
+		return
+	}
+	c.edges.set(idx, active)
+	d := int32(-1)
+	if active {
+		d = 1
+	}
+	c.degree[u] += d
+	c.degree[v] += d
+}
+
+// Degree returns the active degree of u.
+func (c *DynConfig) Degree(u int) int { return int(c.degree[u]) }
+
+// ActiveNeighbors appends u's active neighbors to dst.
+func (c *DynConfig) ActiveNeighbors(u int, dst []int) []int {
+	for v := 0; v < c.n; v++ {
+		if v != u && c.Edge(u, v) {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// DynResult reports a dynamic run's outcome.
+type DynResult struct {
+	Converged       bool
+	Steps           int64
+	ConvergenceTime int64
+	EffectiveSteps  int64
+	Final           *DynConfig
+}
+
+// DynOptions configures a dynamic run.
+type DynOptions struct {
+	Seed          uint64
+	MaxSteps      int64
+	CheckInterval int64
+	// Stable is the stop predicate; required.
+	Stable func(cfg *DynConfig) bool
+	// CheckEveryEffective, when set, evaluates Stable after each
+	// effective step instead of on an interval.
+	CheckEveryEffective bool
+	// Initial, when non-nil, replaces the all-initial configuration.
+	Initial *DynConfig
+}
+
+// RunDyn executes a dynamic protocol under the uniform random
+// scheduler until Stable fires or the budget is exhausted.
+func RunDyn(p *DynProtocol, n int, opts DynOptions) (DynResult, error) {
+	if n < 1 {
+		return DynResult{}, errors.New("core: population size must be ≥ 1")
+	}
+	if opts.Stable == nil {
+		return DynResult{}, errors.New("core: dynamic runs require a Stable predicate")
+	}
+	cfg := opts.Initial
+	if cfg == nil {
+		cfg = NewDynConfig(p, n)
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps(n)
+	}
+	interval := opts.CheckInterval
+	if interval <= 0 {
+		interval = int64(n) * int64(n)
+		if interval < 1024 {
+			interval = 1024
+		}
+	}
+	rng := NewRNG(opts.Seed)
+	res := DynResult{Final: cfg}
+	if n == 1 || opts.Stable(cfg) {
+		res.Converged = opts.Stable(cfg)
+		return res, nil
+	}
+	var step int64
+	for step < maxSteps {
+		step++
+		u, v := rng.Pair(n)
+		idx := pairIndex(n, u, v)
+		active := cfg.edges.get(idx)
+		outA, outB, outEdge, effective := p.Apply(cfg.nodes[u], cfg.nodes[v], active, rng)
+		if effective {
+			res.EffectiveSteps++
+			cfg.nodes[u] = outA
+			cfg.nodes[v] = outB
+			if outEdge != active {
+				cfg.edges.set(idx, outEdge)
+				d := int32(-1)
+				if outEdge {
+					d = 1
+				}
+				cfg.degree[u] += d
+				cfg.degree[v] += d
+				res.ConvergenceTime = step
+			}
+		}
+		check := false
+		if opts.CheckEveryEffective {
+			check = effective
+		} else {
+			check = step%interval == 0
+		}
+		if check && opts.Stable(cfg) {
+			res.Converged = true
+			res.Steps = step
+			return res, nil
+		}
+	}
+	res.Steps = maxSteps
+	return res, nil
+}

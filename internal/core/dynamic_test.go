@@ -1,0 +1,113 @@
+package core
+
+import "testing"
+
+func dynNoop() *DynProtocol {
+	return &DynProtocol{
+		Name:    "noop",
+		Initial: 5,
+		Apply: func(a, b DynState, edge bool, rng *RNG) (DynState, DynState, bool, bool) {
+			return a, b, edge, false
+		},
+	}
+}
+
+func TestDynConfigBasics(t *testing.T) {
+	t.Parallel()
+	cfg := NewDynConfig(dynNoop(), 6)
+	if cfg.N() != 6 {
+		t.Fatalf("N=%d", cfg.N())
+	}
+	for u := 0; u < 6; u++ {
+		if cfg.Node(u) != 5 {
+			t.Fatalf("node %d initial state %d", u, cfg.Node(u))
+		}
+	}
+	cfg.SetNode(2, 42)
+	if cfg.Node(2) != 42 {
+		t.Fatal("SetNode lost the value")
+	}
+	cfg.SetEdge(1, 4, true)
+	cfg.SetEdge(4, 1, true) // idempotent
+	if !cfg.Edge(4, 1) || cfg.Degree(1) != 1 || cfg.Degree(4) != 1 {
+		t.Fatal("edge bookkeeping wrong")
+	}
+	nbrs := cfg.ActiveNeighbors(1, nil)
+	if len(nbrs) != 1 || nbrs[0] != 4 {
+		t.Fatalf("neighbors %v", nbrs)
+	}
+	cfg.SetEdge(1, 4, false)
+	if cfg.Degree(1) != 0 {
+		t.Fatal("deactivation not reflected in degree")
+	}
+}
+
+// TestRunDynMatchesStaticEngine: a dynamic re-implementation of
+// maximum matching must produce the same matching sizes as the static
+// engine across seeds (both consume the RNG differently, so only the
+// structural outcome is compared).
+func TestRunDynMatchesStaticEngine(t *testing.T) {
+	t.Parallel()
+	const n = 14
+	dyn := &DynProtocol{
+		Name:    "dyn-matching",
+		Initial: 0, // 0 = unmatched, 1 = matched
+		Apply: func(a, b DynState, edge bool, rng *RNG) (DynState, DynState, bool, bool) {
+			if a == 0 && b == 0 && !edge {
+				return 1, 1, true, true
+			}
+			return a, b, edge, false
+		},
+	}
+	unmatched := func(cfg *DynConfig) int {
+		count := 0
+		for u := 0; u < cfg.N(); u++ {
+			if cfg.Node(u) == 0 {
+				count++
+			}
+		}
+		return count
+	}
+	for seed := uint64(1); seed <= 5; seed++ {
+		res, err := RunDyn(dyn, n, DynOptions{
+			Seed:                seed,
+			CheckEveryEffective: true,
+			Stable:              func(cfg *DynConfig) bool { return unmatched(cfg) <= 1 },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("seed %d: no convergence", seed)
+		}
+		// Every node is matched (n even): degree 1 each.
+		for u := 0; u < n; u++ {
+			if res.Final.Degree(u) != 1 {
+				t.Fatalf("seed %d: node %d degree %d", seed, u, res.Final.Degree(u))
+			}
+		}
+		if res.ConvergenceTime <= 0 || res.ConvergenceTime > res.Steps {
+			t.Fatalf("seed %d: implausible convergence time %d/%d", seed, res.ConvergenceTime, res.Steps)
+		}
+	}
+}
+
+func TestRunDynInitialAndInterval(t *testing.T) {
+	t.Parallel()
+	dyn := dynNoop()
+	initial := NewDynConfig(dyn, 4)
+	initial.SetNode(0, 9)
+	res, err := RunDyn(dyn, 4, DynOptions{
+		Initial:       initial,
+		CheckInterval: 16,
+		Stable: func(cfg *DynConfig) bool {
+			return cfg.Node(0) == 9
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("pre-stable dynamic run not detected")
+	}
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Trigger selects when a detector's Stable predicate is evaluated.
+type Trigger int
+
+// Trigger values. Interval checking exists for predicates that are
+// expensive or that can become true on ineffective suffixes (full
+// quiescence); the cheaper triggers piggyback on effective steps, which
+// is exact for predicates that can only become true when something
+// changed.
+const (
+	// TriggerEffective evaluates after every effective step.
+	TriggerEffective Trigger = iota + 1
+	// TriggerEdge evaluates only after steps that changed an edge.
+	TriggerEdge
+	// TriggerInterval evaluates every Options.CheckInterval steps.
+	TriggerInterval
+)
+
+// Detector decides when a run has stabilized. Stable must return true
+// only for configurations whose output graph provably never changes
+// again under the protocol (the paper proves such predicates for every
+// protocol it presents).
+type Detector struct {
+	Stable  func(cfg *Config) bool
+	Trigger Trigger
+}
+
+// QuiescenceDetector detects full quiescence: no effective transition
+// applies to any pair. Sufficient for protocols whose stable
+// configurations are completely silent (Global-Star, Cycle-Cover, all
+// Section 3.3 processes).
+func QuiescenceDetector() Detector {
+	return Detector{
+		Stable:  func(cfg *Config) bool { return cfg.Quiescent() },
+		Trigger: TriggerInterval,
+	}
+}
+
+// EdgeQuiescenceDetector detects edge quiescence: no applicable
+// transition changes an edge. This is not sufficient for stability in
+// general (later node-state changes may re-enable edge changes), so use
+// it only for protocols where edge quiescence is known to be absorbing.
+func EdgeQuiescenceDetector() Detector {
+	return Detector{
+		Stable:  func(cfg *Config) bool { return cfg.EdgeQuiescent() },
+		Trigger: TriggerInterval,
+	}
+}
+
+// Options configures a run.
+type Options struct {
+	// Seed feeds the deterministic RNG. Runs with equal
+	// (protocol, n, seed, scheduler) are identical.
+	Seed uint64
+	// Scheduler defaults to the uniform random scheduler.
+	Scheduler Scheduler
+	// Detector defaults to QuiescenceDetector.
+	Detector Detector
+	// MaxSteps aborts the run (Converged=false) when exceeded.
+	// Defaults to DefaultMaxSteps(n).
+	MaxSteps int64
+	// CheckInterval is the period of TriggerInterval detection; 0 means
+	// max(1024, n²).
+	CheckInterval int64
+	// Initial, when non-nil, replaces the all-q0 initial configuration
+	// (e.g. Graph-Replication's input graph). It is cloned, not
+	// mutated.
+	Initial *Config
+	// Observer, when non-nil, receives every effective step.
+	Observer Observer
+}
+
+// Observer receives effective steps for tracing and figure generation.
+type Observer interface {
+	// ObserveStep is called after each effective step with the 1-based
+	// step index, the interacting pair, whether the step changed an
+	// edge, and the post-step configuration (which must not be
+	// retained or mutated).
+	ObserveStep(step int64, u, v int, edgeChanged bool, cfg *Config)
+}
+
+// Result reports a run's outcome and metrics.
+type Result struct {
+	// Converged reports whether the detector fired before MaxSteps.
+	Converged bool
+	// Steps is the number of interactions executed when stabilization
+	// was detected (or MaxSteps on abort).
+	Steps int64
+	// ConvergenceTime is the paper's running time: the last step at
+	// which the output graph (active edges plus Qout membership)
+	// changed. Zero if the initial configuration was already stable.
+	ConvergenceTime int64
+	// EffectiveSteps counts steps on which any state changed.
+	EffectiveSteps int64
+	// EdgeChanges counts steps on which an edge changed.
+	EdgeChanges int64
+	// Final is the final configuration.
+	Final *Config
+}
+
+// ParallelTime converts the sequential convergence time into the
+// parallel-time estimate of the paper's footnote 5: with Θ(n)
+// interactions happening in parallel per round, parallel time is
+// sequential time divided by n.
+func (r Result) ParallelTime(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(r.ConvergenceTime) / float64(n)
+}
+
+// DefaultMaxSteps returns the default step budget for population size
+// n: generous enough for every protocol in the paper at the sizes used
+// in tests and benchmarks (the slowest is Ω(n⁴)–O(n⁵)).
+func DefaultMaxSteps(n int) int64 {
+	if n < 4 {
+		return 1 << 20
+	}
+	nn := int64(n)
+	budget := 200 * nn * nn * nn * nn
+	const ceiling = int64(1) << 40
+	if budget > ceiling || budget < 0 {
+		return ceiling
+	}
+	return budget
+}
+
+// Run executes the protocol on n nodes until the detector reports
+// stability or the step budget is exhausted.
+func Run(p *Protocol, n int, opts Options) (Result, error) {
+	if n < 1 {
+		return Result{}, errors.New("core: population size must be ≥ 1")
+	}
+	var cfg *Config
+	if opts.Initial != nil {
+		if opts.Initial.proto != p {
+			return Result{}, fmt.Errorf("core: initial configuration belongs to protocol %q, not %q", opts.Initial.proto.Name(), p.Name())
+		}
+		if opts.Initial.N() != n {
+			return Result{}, fmt.Errorf("core: initial configuration has %d nodes, want %d", opts.Initial.N(), n)
+		}
+		cfg = opts.Initial.Clone()
+	} else {
+		cfg = NewConfig(p, n)
+	}
+
+	sched := opts.Scheduler
+	if sched == nil {
+		sched = UniformScheduler{}
+	}
+	det := opts.Detector
+	if det.Stable == nil {
+		det = QuiescenceDetector()
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps(n)
+	}
+	interval := opts.CheckInterval
+	if interval <= 0 {
+		interval = int64(n) * int64(n)
+		if interval < 1024 {
+			interval = 1024
+		}
+	}
+
+	rng := NewRNG(opts.Seed)
+	res := Result{Final: cfg}
+
+	if n == 1 || det.Stable(cfg) {
+		// Already stable (or no pairs exist to ever interact).
+		res.Converged = det.Stable(cfg)
+		return res, nil
+	}
+
+	var step int64
+	for step < maxSteps {
+		step++
+		u, v := sched.Next(cfg, rng)
+		beforeU, beforeV := cfg.Node(u), cfg.Node(v)
+		effective, edgeChanged := cfg.Apply(u, v, rng)
+		if effective {
+			res.EffectiveSteps++
+			// The output graph changes when an edge between two output
+			// nodes changes, or when a node enters or leaves Qout.
+			outputChanged := edgeChanged && p.IsOutput(cfg.Node(u)) && p.IsOutput(cfg.Node(v))
+			if !outputChanged {
+				outputChanged = p.IsOutput(beforeU) != p.IsOutput(cfg.Node(u)) ||
+					p.IsOutput(beforeV) != p.IsOutput(cfg.Node(v))
+			}
+			if edgeChanged {
+				res.EdgeChanges++
+			}
+			if outputChanged {
+				res.ConvergenceTime = step
+			}
+			if opts.Observer != nil {
+				opts.Observer.ObserveStep(step, u, v, edgeChanged, cfg)
+			}
+		}
+
+		check := false
+		switch det.Trigger {
+		case TriggerEffective:
+			check = effective
+		case TriggerEdge:
+			check = edgeChanged
+		case TriggerInterval:
+			check = step%interval == 0
+		default:
+			check = effective
+		}
+		if check && det.Stable(cfg) {
+			res.Converged = true
+			res.Steps = step
+			return res, nil
+		}
+	}
+	res.Steps = maxSteps
+	return res, nil
+}
+
+// Mean runs the protocol `trials` times with seeds seed, seed+1, … and
+// returns the mean convergence time over converged runs plus the number
+// of runs that failed to converge within budget.
+func Mean(p *Protocol, n, trials int, seed uint64, opts Options) (mean float64, failures int, err error) {
+	if trials < 1 {
+		return 0, 0, errors.New("core: trials must be ≥ 1")
+	}
+	var total float64
+	converged := 0
+	for t := 0; t < trials; t++ {
+		o := opts
+		o.Seed = seed + uint64(t)
+		res, runErr := Run(p, n, o)
+		if runErr != nil {
+			return 0, 0, runErr
+		}
+		if !res.Converged {
+			failures++
+			continue
+		}
+		total += float64(res.ConvergenceTime)
+		converged++
+	}
+	if converged == 0 {
+		return 0, failures, nil
+	}
+	return total / float64(converged), failures, nil
+}

@@ -1,0 +1,64 @@
+package core
+
+import "math/bits"
+
+// pairCount returns the number of unordered pairs over n nodes,
+// |E_I| = n(n−1)/2.
+func pairCount(n int) int { return n * (n - 1) / 2 }
+
+// pairIndex maps the unordered pair {u, v}, u ≠ v, into the dense
+// upper-triangular index space [0, n(n−1)/2).
+func pairIndex(n, u, v int) int {
+	if u > v {
+		u, v = v, u
+	}
+	// Row u starts after rows 0..u−1, which hold (n−1) + (n−2) + …
+	// entries.
+	return u*(2*n-u-1)/2 + (v - u - 1)
+}
+
+// pairFromIndex inverts pairIndex. O(√n) via row scan is avoided with a
+// closed form; used by exhaustive enumeration and tests.
+func pairFromIndex(n, idx int) (u, v int) {
+	u = 0
+	rowLen := n - 1
+	for idx >= rowLen {
+		idx -= rowLen
+		u++
+		rowLen--
+	}
+	return u, u + 1 + idx
+}
+
+// bitset is a fixed-capacity bit vector used for edge states.
+type bitset []uint64
+
+func newBitset(bits int) bitset {
+	return make(bitset, (bits+63)/64)
+}
+
+func (b bitset) get(i int) bool {
+	return b[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+func (b bitset) set(i int, v bool) {
+	if v {
+		b[i>>6] |= 1 << (uint(i) & 63)
+	} else {
+		b[i>>6] &^= 1 << (uint(i) & 63)
+	}
+}
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+func (b bitset) popcount() int {
+	total := 0
+	for _, w := range b {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}

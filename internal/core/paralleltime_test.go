@@ -1,0 +1,48 @@
+package core
+
+import "testing"
+
+// TestParallelTime covers the footnote 5 conversion: parallel time is
+// sequential time over n.
+func TestParallelTime(t *testing.T) {
+	t.Parallel()
+	res := Result{ConvergenceTime: 1000}
+	if got := res.ParallelTime(10); got != 100 {
+		t.Fatalf("ParallelTime = %f, want 100", got)
+	}
+	if got := res.ParallelTime(0); got != 0 {
+		t.Fatalf("degenerate n gave %f", got)
+	}
+}
+
+// TestEpidemicParallelTimeIsLogarithmic: a one-way epidemic takes
+// Θ(n log n) interactions, i.e. Θ(log n) parallel time — the classic
+// population-protocol sanity check for the conversion.
+func TestEpidemicParallelTimeIsLogarithmic(t *testing.T) {
+	t.Parallel()
+	p, det := epidemicProtocol()
+	ratio := func(n int) float64 {
+		var total float64
+		const trials = 30
+		for seed := uint64(1); seed <= trials; seed++ {
+			res, err := Run(p, n, Options{Seed: seed, Detector: det, Initial: seededInitial(p, n)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// ConvergenceTime is zero here (no edges/Qout changes), so
+			// use the detection step for the conversion.
+			total += float64(res.Steps) / float64(n)
+		}
+		return total / trials
+	}
+	small, large := ratio(32), ratio(128)
+	// log(128)/log(32) = 1.4; allow a broad band but reject linear
+	// growth (which would give 4×).
+	growth := large / small
+	if growth > 2.5 {
+		t.Fatalf("parallel time grew %fx from n=32 to n=128 (not logarithmic)", growth)
+	}
+	if growth < 1.0 {
+		t.Fatalf("parallel time shrank (%fx)", growth)
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func twoStateRules() []Rule {
+	return []Rule{{A: 0, B: 1, Edge: false, OutA: 1, OutB: 1, OutEdge: true}}
+}
+
+func TestNewProtocolValidation(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name    string
+		pname   string
+		states  []string
+		initial State
+		qout    []State
+		rules   []Rule
+		wantErr string
+	}{
+		{
+			name: "empty name", pname: "", states: []string{"a"},
+			wantErr: "name",
+		},
+		{
+			name: "no states", pname: "p", states: nil,
+			wantErr: "at least one state",
+		},
+		{
+			name: "initial out of range", pname: "p", states: []string{"a"}, initial: 3,
+			wantErr: "initial state",
+		},
+		{
+			name: "duplicate state names", pname: "p", states: []string{"a", "a"},
+			wantErr: "duplicate",
+		},
+		{
+			name: "empty state name", pname: "p", states: []string{"a", ""},
+			wantErr: "empty name",
+		},
+		{
+			name: "output out of range", pname: "p", states: []string{"a"}, qout: []State{9},
+			wantErr: "output state",
+		},
+		{
+			name: "rule state out of range", pname: "p", states: []string{"a", "b"},
+			rules:   []Rule{{A: 0, B: 7, OutA: 0, OutB: 0}},
+			wantErr: "out of range",
+		},
+		{
+			name: "alt state out of range", pname: "p", states: []string{"a", "b"},
+			rules:   []Rule{{A: 0, B: 1, OutA: 1, OutB: 1, Alt: true, AltA: 9}},
+			wantErr: "alt outcome",
+		},
+		{
+			name: "redefined triple", pname: "p", states: []string{"a", "b"},
+			rules: []Rule{
+				{A: 0, B: 1, OutA: 1, OutB: 1},
+				{A: 0, B: 1, OutA: 0, OutB: 0},
+			},
+			wantErr: "redefines",
+		},
+		{
+			name: "mirror conflict", pname: "p", states: []string{"a", "b"},
+			rules: []Rule{
+				{A: 0, B: 1, OutA: 1, OutB: 1},
+				{A: 1, B: 0, OutA: 0, OutB: 0},
+			},
+			wantErr: "mirror",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			_, err := NewProtocol(tc.pname, tc.states, tc.initial, tc.qout, tc.rules)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestProtocolAccessors(t *testing.T) {
+	t.Parallel()
+	p, err := NewProtocol("demo", []string{"a", "b"}, 0, []State{1}, twoStateRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "demo" || p.Size() != 2 || p.Initial() != 0 {
+		t.Fatalf("accessors: %q %d %d", p.Name(), p.Size(), p.Initial())
+	}
+	if p.IsOutput(0) || !p.IsOutput(1) {
+		t.Fatal("Qout membership wrong")
+	}
+	if got := p.StateName(0); got != "a" {
+		t.Fatalf("StateName(0) = %q", got)
+	}
+	if got := p.StateName(99); !strings.Contains(got, "99") {
+		t.Fatalf("StateName(99) = %q", got)
+	}
+	if s, ok := p.StateIndex("b"); !ok || s != 1 {
+		t.Fatalf("StateIndex(b) = %d, %v", s, ok)
+	}
+	if _, ok := p.StateIndex("zz"); ok {
+		t.Fatal("StateIndex found a missing state")
+	}
+	if p.Randomized() {
+		t.Fatal("deterministic protocol reported as randomized")
+	}
+	rules := p.Rules()
+	rules[0].A = 1 // must not affect the protocol
+	if p.Rules()[0].A != 0 {
+		t.Fatal("Rules leaked internal storage")
+	}
+}
+
+func TestNilQoutMeansAllOutput(t *testing.T) {
+	t.Parallel()
+	p := MustProtocol("p", []string{"a", "b"}, 0, nil, twoStateRules())
+	if !p.IsOutput(0) || !p.IsOutput(1) {
+		t.Fatal("nil Qout should make every state an output state")
+	}
+}
+
+func TestSymmetricLookup(t *testing.T) {
+	t.Parallel()
+	// Rule defined at (a, b): the mirror orientation must apply with
+	// roles swapped.
+	p := MustProtocol("p", []string{"a", "b", "c"}, 0, nil, []Rule{
+		{A: 0, B: 1, Edge: false, OutA: 2, OutB: 1, OutEdge: true},
+	})
+	e := p.lookup(1, 0, false)
+	if !e.effective {
+		t.Fatal("mirror orientation not effective")
+	}
+	if e.outA != 1 || e.outB != 2 || !e.outEdge {
+		t.Fatalf("mirror outcome (%d,%d,%v)", e.outA, e.outB, e.outEdge)
+	}
+	// Unlisted triples are identity.
+	if p.EffectiveOn(2, 2, true) {
+		t.Fatal("unlisted triple reported effective")
+	}
+}
+
+func TestOutcomesEnumeration(t *testing.T) {
+	t.Parallel()
+	p := MustProtocol("p", []string{"a", "b", "c"}, 0, nil, []Rule{
+		// Symmetry-breaking coin: a==a with distinct outputs.
+		{A: 0, B: 0, Edge: false, OutA: 1, OutB: 2, OutEdge: true},
+		// Probabilistic rule with two branches.
+		{A: 1, B: 2, Edge: true, OutA: 2, OutB: 2, OutEdge: true,
+			Alt: true, AltA: 1, AltB: 1, AltEdge: false},
+	})
+	coin := p.Outcomes(0, 0, false)
+	if len(coin) != 2 {
+		t.Fatalf("coin rule should have 2 outcomes, got %d: %v", len(coin), coin)
+	}
+	if coin[0] == coin[1] {
+		t.Fatal("coin outcomes identical")
+	}
+	prob := p.Outcomes(1, 2, true)
+	if len(prob) != 2 {
+		t.Fatalf("probabilistic rule should have 2 outcomes, got %d", len(prob))
+	}
+	if p.Outcomes(2, 2, false) != nil {
+		t.Fatal("ineffective triple should have nil outcomes")
+	}
+	if !p.Randomized() {
+		t.Fatal("protocol with Alt rule not reported randomized")
+	}
+}
+
+func TestOutcomesDropIdentityBranch(t *testing.T) {
+	t.Parallel()
+	// A probabilistic rule whose alternative is the identity (the
+	// common "with prob 1/2 do nothing" pattern).
+	p := MustProtocol("p", []string{"a", "b"}, 0, nil, []Rule{
+		{A: 0, B: 1, Edge: false, OutA: 1, OutB: 1, OutEdge: true,
+			Alt: true, AltA: 0, AltB: 1, AltEdge: false},
+	})
+	outs := p.Outcomes(0, 1, false)
+	if len(outs) != 1 {
+		t.Fatalf("identity branch not dropped: %v", outs)
+	}
+}
+
+func TestEdgeEffectiveOn(t *testing.T) {
+	t.Parallel()
+	p := MustProtocol("p", []string{"a", "b"}, 0, nil, []Rule{
+		{A: 0, B: 0, Edge: false, OutA: 1, OutB: 1, OutEdge: false}, // node-only
+		{A: 1, B: 1, Edge: false, OutA: 1, OutB: 1, OutEdge: true},  // edge-only
+	})
+	if p.EdgeEffectiveOn(0, 0, false) {
+		t.Fatal("node-only rule reported edge-effective")
+	}
+	if !p.EdgeEffectiveOn(1, 1, false) {
+		t.Fatal("edge rule not reported edge-effective")
+	}
+}
+
+func TestRuleEffective(t *testing.T) {
+	t.Parallel()
+	if (Rule{A: 0, B: 0, OutA: 0, OutB: 0}).Effective() {
+		t.Fatal("identity rule reported effective")
+	}
+	if !(Rule{A: 0, B: 0, OutA: 1, OutB: 0}).Effective() {
+		t.Fatal("state-changing rule not effective")
+	}
+	if !(Rule{A: 0, B: 0, Edge: false, OutA: 0, OutB: 0, OutEdge: true}).Effective() {
+		t.Fatal("edge-changing rule not effective")
+	}
+}
+
+func TestMustProtocolPanics(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustProtocol did not panic on invalid input")
+		}
+	}()
+	MustProtocol("", nil, 0, nil, nil)
+}

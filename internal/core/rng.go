@@ -1,0 +1,39 @@
+package core
+
+import "math/rand/v2"
+
+// RNG is the deterministic random source used throughout the simulator:
+// scheduler pair choices, symmetry-breaking coins, and PREL rule coins
+// all draw from it, so a run is fully reproducible from (protocol, n,
+// seed).
+type RNG struct {
+	src *rand.Rand
+}
+
+// NewRNG returns a PCG-backed source seeded deterministically.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{src: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// IntN returns a uniform integer in [0, n).
+func (r *RNG) IntN(n int) int { return r.src.IntN(n) }
+
+// Coin returns true with probability 1/2.
+func (r *RNG) Coin() bool { return r.src.Uint64()&1 == 1 }
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
+
+// Pair returns a uniform unordered pair {u, v}, u ≠ v, over n nodes —
+// the uniform random scheduler's single draw.
+func (r *RNG) Pair(n int) (u, v int) {
+	u = r.src.IntN(n)
+	v = r.src.IntN(n - 1)
+	if v >= u {
+		v++
+	}
+	return u, v
+}

@@ -1,0 +1,104 @@
+package core
+
+// Scheduler selects the next interacting pair. The paper's model only
+// requires fairness; running-time analysis assumes the uniform random
+// scheduler. Alternative fair schedulers are provided for correctness
+// testing (the theorems must hold under any fair schedule) and
+// adversarial stress.
+type Scheduler interface {
+	// Next returns the next unordered pair to interact, given the
+	// current configuration. Implementations must not retain cfg.
+	Next(cfg *Config, rng *RNG) (u, v int)
+	// Name identifies the scheduler in reports.
+	Name() string
+}
+
+// UniformScheduler is the paper's uniform random scheduler: every one
+// of the n(n−1)/2 pairs is selected independently and uniformly at
+// random each step. It is fair with probability 1.
+type UniformScheduler struct{}
+
+// Next implements Scheduler.
+func (UniformScheduler) Next(cfg *Config, rng *RNG) (int, int) {
+	return rng.Pair(cfg.N())
+}
+
+// Name implements Scheduler.
+func (UniformScheduler) Name() string { return "uniform" }
+
+// RoundRobinScheduler cycles deterministically through all pairs in a
+// fixed order. It is fair (every pair recurs every n(n−1)/2 steps) but
+// maximally regular — a useful sanity adversary: stabilization theorems
+// hold under it even though the running-time analysis does not apply.
+type RoundRobinScheduler struct {
+	next int
+}
+
+// Next implements Scheduler.
+func (s *RoundRobinScheduler) Next(cfg *Config, _ *RNG) (int, int) {
+	n := cfg.N()
+	u, v := pairFromIndex(n, s.next)
+	s.next++
+	if s.next >= pairCount(n) {
+		s.next = 0
+	}
+	return u, v
+}
+
+// Name implements Scheduler.
+func (s *RoundRobinScheduler) Name() string { return "round-robin" }
+
+// PermutationScheduler runs through a fresh random permutation of all
+// pairs each epoch. Fair, and stresses different interleavings than the
+// uniform scheduler (every pair occurs exactly once per epoch).
+type PermutationScheduler struct {
+	order []int
+	pos   int
+}
+
+// Next implements Scheduler.
+func (s *PermutationScheduler) Next(cfg *Config, rng *RNG) (int, int) {
+	n := cfg.N()
+	if s.pos >= len(s.order) || len(s.order) != pairCount(n) {
+		s.order = rng.Perm(pairCount(n))
+		s.pos = 0
+	}
+	u, v := pairFromIndex(n, s.order[s.pos])
+	s.pos++
+	return u, v
+}
+
+// Name implements Scheduler.
+func (s *PermutationScheduler) Name() string { return "permutation" }
+
+// BiasedScheduler is an adversarially skewed (but still fair) random
+// scheduler: with probability 1−Epsilon it picks a pair within the
+// "slow" prefix of nodes [0, Cut), otherwise a uniform pair. Every pair
+// keeps non-zero probability each step, so fairness holds with
+// probability 1, yet interactions involving the suffix are starved —
+// a stress test for protocols whose proofs rely only on fairness.
+type BiasedScheduler struct {
+	// Cut is the size of the favored prefix (≥ 2 effective).
+	Cut int
+	// Epsilon is the probability of an unbiased draw; must be in (0, 1].
+	Epsilon float64
+}
+
+// Next implements Scheduler.
+func (s *BiasedScheduler) Next(cfg *Config, rng *RNG) (int, int) {
+	n := cfg.N()
+	cut := s.Cut
+	if cut < 2 {
+		cut = 2
+	}
+	if cut > n {
+		cut = n
+	}
+	if cut < n && rng.Float64() >= s.Epsilon {
+		return rng.Pair(cut)
+	}
+	return rng.Pair(n)
+}
+
+// Name implements Scheduler.
+func (s *BiasedScheduler) Name() string { return "biased" }

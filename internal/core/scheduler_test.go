@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func schedulerConfig(n int) *Config {
+	p := MustProtocol("noop", []string{"a"}, 0, nil, nil)
+	return NewConfig(p, n)
+}
+
+func TestUniformSchedulerDistribution(t *testing.T) {
+	t.Parallel()
+	const n = 8
+	cfg := schedulerConfig(n)
+	rng := NewRNG(17)
+	var s UniformScheduler
+	counts := make(map[int]int)
+	const draws = 200_000
+	for i := 0; i < draws; i++ {
+		u, v := s.Next(cfg, rng)
+		if u == v || u < 0 || v < 0 || u >= n || v >= n {
+			t.Fatalf("invalid pair (%d,%d)", u, v)
+		}
+		counts[pairIndex(n, u, v)]++
+	}
+	want := float64(draws) / float64(pairCount(n))
+	for idx, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("pair %d drawn %d times, want ≈ %.0f", idx, c, want)
+		}
+	}
+	if len(counts) != pairCount(n) {
+		t.Fatalf("only %d of %d pairs drawn", len(counts), pairCount(n))
+	}
+}
+
+func TestRoundRobinCoversAllPairsEachEpoch(t *testing.T) {
+	t.Parallel()
+	const n = 7
+	cfg := schedulerConfig(n)
+	s := &RoundRobinScheduler{}
+	rng := NewRNG(1)
+	for epoch := 0; epoch < 3; epoch++ {
+		seen := make(map[int]bool, pairCount(n))
+		for i := 0; i < pairCount(n); i++ {
+			u, v := s.Next(cfg, rng)
+			seen[pairIndex(n, u, v)] = true
+		}
+		if len(seen) != pairCount(n) {
+			t.Fatalf("epoch %d covered %d of %d pairs", epoch, len(seen), pairCount(n))
+		}
+	}
+}
+
+func TestPermutationSchedulerEpochs(t *testing.T) {
+	t.Parallel()
+	const n = 6
+	cfg := schedulerConfig(n)
+	s := &PermutationScheduler{}
+	rng := NewRNG(4)
+	for epoch := 0; epoch < 4; epoch++ {
+		seen := make(map[int]int, pairCount(n))
+		for i := 0; i < pairCount(n); i++ {
+			u, v := s.Next(cfg, rng)
+			seen[pairIndex(n, u, v)]++
+		}
+		for idx, c := range seen {
+			if c != 1 {
+				t.Fatalf("epoch %d drew pair %d %d times", epoch, idx, c)
+			}
+		}
+	}
+}
+
+func TestBiasedSchedulerStillFair(t *testing.T) {
+	t.Parallel()
+	const n = 10
+	cfg := schedulerConfig(n)
+	s := &BiasedScheduler{Cut: 3, Epsilon: 0.05}
+	rng := NewRNG(2)
+	sawSuffix := false
+	prefix := 0
+	const draws = 100_000
+	for i := 0; i < draws; i++ {
+		u, v := s.Next(cfg, rng)
+		if u >= 3 || v >= 3 {
+			sawSuffix = true
+		} else {
+			prefix++
+		}
+	}
+	if !sawSuffix {
+		t.Fatal("biased scheduler starved the suffix entirely (not fair)")
+	}
+	if float64(prefix)/draws < 0.80 {
+		t.Fatalf("bias too weak: only %.1f%% prefix draws", 100*float64(prefix)/draws)
+	}
+}
+
+func TestBiasedSchedulerDegenerateCut(t *testing.T) {
+	t.Parallel()
+	cfg := schedulerConfig(4)
+	s := &BiasedScheduler{Cut: 0, Epsilon: 0.5}
+	rng := NewRNG(3)
+	for i := 0; i < 100; i++ {
+		u, v := s.Next(cfg, rng)
+		if u == v {
+			t.Fatal("self-pair drawn")
+		}
+	}
+	s2 := &BiasedScheduler{Cut: 99, Epsilon: 0.5}
+	for i := 0; i < 100; i++ {
+		u, v := s2.Next(cfg, rng)
+		if u >= 4 || v >= 4 {
+			t.Fatal("pair out of range with oversized cut")
+		}
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	t.Parallel()
+	schedulers := []Scheduler{
+		UniformScheduler{},
+		&RoundRobinScheduler{},
+		&PermutationScheduler{},
+		&BiasedScheduler{},
+	}
+	seen := make(map[string]bool, len(schedulers))
+	for _, s := range schedulers {
+		name := s.Name()
+		if name == "" || seen[name] {
+			t.Fatalf("bad or duplicate scheduler name %q", name)
+		}
+		seen[name] = true
+	}
+}

@@ -1,0 +1,202 @@
+// Package experiments drives the paper-reproduction measurements
+// shared by cmd/tables, cmd/figures and the root benchmark harness:
+// n-sweeps of every Table 1 process and Table 2 protocol, scaling-
+// exponent fits, and the Faster-vs-Fast Global-Line comparison from
+// Section 7.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/processes"
+	"repro/internal/protocols"
+	"repro/internal/stats"
+)
+
+// Measurement is one (n, mean steps) sample with its sample size.
+type Measurement struct {
+	N      int
+	Mean   float64
+	StdErr float64
+	Trials int
+}
+
+// Series is an n-sweep of measurements with a reference curve.
+type Series struct {
+	Name     string
+	Points   []Measurement
+	Expected []float64 // analytic reference per point (may be nil)
+	Theta    string
+}
+
+// FitExponent returns the fitted power-law exponent of the series.
+func (s Series) FitExponent() (float64, error) {
+	xs := make([]float64, len(s.Points))
+	ys := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		xs[i] = float64(p.N)
+		ys[i] = p.Mean
+	}
+	alpha, _, err := stats.PowerFit(xs, ys)
+	return alpha, err
+}
+
+// RatioSpread returns max/min of measured/expected across the sweep.
+func (s Series) RatioSpread() (float64, error) {
+	if s.Expected == nil {
+		return 0, fmt.Errorf("experiments: series %q has no reference curve", s.Name)
+	}
+	ys := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		ys[i] = p.Mean
+	}
+	return stats.RatioSpread(ys, s.Expected)
+}
+
+// MeasureProcess sweeps a Table 1 process over sizes.
+func MeasureProcess(proc processes.Process, sizes []int, trials int, seed uint64) (Series, error) {
+	series := Series{Name: proc.Proto.Name(), Theta: proc.Theta}
+	for _, n := range sizes {
+		ms, err := measureProcessAt(proc, n, trials, seed)
+		if err != nil {
+			return Series{}, err
+		}
+		series.Points = append(series.Points, ms)
+		series.Expected = append(series.Expected, proc.Expected(n))
+	}
+	return series, nil
+}
+
+func measureProcessAt(proc processes.Process, n, trials int, seed uint64) (Measurement, error) {
+	needsOneA := proc.Proto.Name() == "One-Way-Epidemic" || proc.Proto.Name() == "Meet-Everybody"
+	times := make([]float64, 0, trials)
+	for t := 0; t < trials; t++ {
+		opts := core.Options{Seed: seed + uint64(t), Detector: proc.Detector}
+		if needsOneA {
+			initial, err := processes.InitialWithOneA(proc.Proto, n)
+			if err != nil {
+				return Measurement{}, err
+			}
+			opts.Initial = initial
+		}
+		res, err := core.Run(proc.Proto, n, opts)
+		if err != nil {
+			return Measurement{}, err
+		}
+		if !res.Converged {
+			return Measurement{}, fmt.Errorf("experiments: %s n=%d trial %d did not converge", proc.Proto.Name(), n, t)
+		}
+		// For the pure processes the detection step is the convergence
+		// step: the predicate flips exactly when the last conversion
+		// happens (which may be a node-state change, not an edge one).
+		times = append(times, float64(res.Steps))
+	}
+	s := stats.Summarize(times)
+	return Measurement{N: n, Mean: s.Mean, StdErr: s.StdErr(), Trials: trials}, nil
+}
+
+// MeasureProtocol sweeps a Table 2 constructor over sizes, reporting
+// the paper's convergence time (last output change).
+func MeasureProtocol(c protocols.Constructor, sizes []int, trials int, seed uint64) (Series, error) {
+	series := Series{Name: c.Proto.Name()}
+	for _, n := range sizes {
+		times := make([]float64, 0, trials)
+		for t := 0; t < trials; t++ {
+			res, err := core.Run(c.Proto, n, core.Options{Seed: seed + uint64(t), Detector: c.Detector})
+			if err != nil {
+				return Series{}, err
+			}
+			if !res.Converged {
+				return Series{}, fmt.Errorf("experiments: %s n=%d trial %d did not converge", c.Proto.Name(), n, t)
+			}
+			times = append(times, float64(res.ConvergenceTime))
+		}
+		s := stats.Summarize(times)
+		series.Points = append(series.Points, Measurement{N: n, Mean: s.Mean, StdErr: s.StdErr(), Trials: trials})
+	}
+	return series, nil
+}
+
+// MeasureReplication sweeps Graph-Replication: for each n, the input
+// is a ring on ⌊n/2⌋ nodes replicated onto the other half.
+func MeasureReplication(sizes []int, trials int, seed uint64) (Series, error) {
+	c := protocols.GraphReplication()
+	series := Series{Name: c.Proto.Name()}
+	for _, n := range sizes {
+		g1 := graph.Ring(n / 2)
+		det := protocols.ReplicationDetector(g1)
+		times := make([]float64, 0, trials)
+		for t := 0; t < trials; t++ {
+			initial, err := protocols.ReplicationInitial(c.Proto, g1, n)
+			if err != nil {
+				return Series{}, err
+			}
+			res, err := core.Run(c.Proto, n, core.Options{
+				Seed:     seed + uint64(t),
+				Detector: det,
+				Initial:  initial,
+			})
+			if err != nil {
+				return Series{}, err
+			}
+			if !res.Converged {
+				return Series{}, fmt.Errorf("experiments: replication n=%d trial %d did not converge", n, t)
+			}
+			times = append(times, float64(res.ConvergenceTime))
+		}
+		s := stats.Summarize(times)
+		series.Points = append(series.Points, Measurement{N: n, Mean: s.Mean, StdErr: s.StdErr(), Trials: trials})
+	}
+	return series, nil
+}
+
+// Comparison holds the Section 7 Fast- vs Faster-Global-Line
+// experiment: the paper reports experimental evidence that Protocol 10
+// improves on Protocol 2.
+type Comparison struct {
+	Sizes  []int
+	Fast   []float64
+	Faster []float64
+}
+
+// CompareLineProtocols measures both protocols on the same sweep.
+func CompareLineProtocols(sizes []int, trials int, seed uint64) (Comparison, error) {
+	cmp := Comparison{Sizes: sizes}
+	fast, err := MeasureProtocol(protocols.FastGlobalLine(), sizes, trials, seed)
+	if err != nil {
+		return Comparison{}, err
+	}
+	faster, err := MeasureProtocol(protocols.FasterGlobalLine(), sizes, trials, seed)
+	if err != nil {
+		return Comparison{}, err
+	}
+	for i := range sizes {
+		cmp.Fast = append(cmp.Fast, fast.Points[i].Mean)
+		cmp.Faster = append(cmp.Faster, faster.Points[i].Mean)
+	}
+	return cmp, nil
+}
+
+// Table1Sizes and Table2Sizes give per-experiment default sweeps,
+// scaled so the slowest rows stay laptop-friendly.
+func Table1Sizes() []int { return []int{16, 24, 32, 48, 64, 96, 128} }
+
+// Table2Sizes returns the default sweep per protocol name.
+func Table2Sizes(name string) []int {
+	switch name {
+	case "simple-global-line":
+		return []int{8, 12, 16, 20, 24}
+	case "fast-global-line", "faster-global-line":
+		return []int{8, 16, 24, 32, 48}
+	case "global-ring", "2rc":
+		return []int{6, 8, 10, 12}
+	case "3rc", "3-cliques":
+		return []int{8, 10, 12}
+	case "graph-replication":
+		return []int{8, 12, 16}
+	default:
+		return []int{16, 32, 64, 96}
+	}
+}

@@ -1,0 +1,228 @@
+// Package geometric implements the model variation proposed in the
+// paper's conclusions (Section 7): nodes carry ports at fixed
+// positions of their body (North/South/East/West), active connections
+// always form at unit distance along the port's axis, and protocols
+// therefore assemble rigid geometric structures on the integer grid —
+// squares and rectangles here — without any mobility control.
+//
+// The scheduler remains the uniform random pair scheduler of the base
+// model. An interaction may bond two nodes port-to-port when both
+// ports are free and the bond keeps the assembly's cells collision-
+// free; bonded structures are rigid (no rotation, matching the
+// fixed-port hardware the paper sketches).
+package geometric
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Cell is a grid coordinate within an assembly's local frame.
+type Cell struct {
+	X, Y int
+}
+
+// nodeState is a node's role in the assembly process.
+type nodeState int
+
+const (
+	free nodeState = iota
+	placed
+)
+
+// World is the population state of the geometric variant: every node
+// is either free or placed at a cell of its assembly. Assemblies grow
+// row-first from an anchor at (0,0); rival anchors eliminate one
+// another, dissolving the loser's assembly back into free nodes.
+type World struct {
+	width, height int
+	n             int
+	state         []nodeState
+	cell          []Cell
+	assembly      []int   // assembly id per node, −1 if free
+	members       [][]int // nodes per assembly id (nil = dissolved)
+	occupied      []map[Cell]int
+	anchors       int
+}
+
+// Result reports a geometric construction run.
+type Result struct {
+	Converged bool
+	Steps     int64
+	// Positions maps each node of the winning assembly to its cell.
+	Positions map[int]Cell
+	// Free is the number of leftover free nodes.
+	Free int
+}
+
+// BuildRectangle assembles a width×height rectangle out of n nodes
+// under the uniform random scheduler. Requires n ≥ width·height ≥ 2.
+func BuildRectangle(width, height, n int, seed uint64, maxSteps int64) (Result, error) {
+	if width < 1 || height < 1 || width*height < 2 {
+		return Result{}, errors.New("geometric: rectangle must contain at least two cells")
+	}
+	if n < width*height {
+		return Result{}, fmt.Errorf("geometric: %d nodes cannot fill a %d×%d rectangle", n, width, height)
+	}
+	if maxSteps <= 0 {
+		maxSteps = core.DefaultMaxSteps(n)
+	}
+	w := &World{
+		width:    width,
+		height:   height,
+		n:        n,
+		state:    make([]nodeState, n),
+		cell:     make([]Cell, n),
+		assembly: make([]int, n),
+	}
+	for i := range w.assembly {
+		w.assembly[i] = -1
+	}
+	rng := core.NewRNG(seed)
+	var steps int64
+	for steps < maxSteps {
+		steps++
+		u, v := rng.Pair(n)
+		w.interact(u, v, rng)
+		if res, done := w.stable(steps); done {
+			return res, nil
+		}
+	}
+	return Result{Steps: maxSteps}, nil
+}
+
+// interact applies the geometric protocol to the pair {u, v}.
+func (w *World) interact(u, v int, rng *core.RNG) {
+	su, sv := w.state[u], w.state[v]
+	switch {
+	case su == free && sv == free:
+		// Seed a new assembly: u anchors at (0,0), v bonds along the
+		// growth axis (East, or North for single-column targets).
+		if rng.Coin() {
+			u, v = v, u
+		}
+		second := Cell{1, 0}
+		if w.width == 1 {
+			second = Cell{0, 1}
+		}
+		id := len(w.members)
+		w.members = append(w.members, []int{u, v})
+		w.occupied = append(w.occupied, map[Cell]int{
+			{0, 0}: u,
+			second: v,
+		})
+		w.place(u, id, Cell{0, 0})
+		w.place(v, id, second)
+		w.anchors++
+	case su == placed && sv == free:
+		w.tryAttach(u, v)
+	case sv == placed && su == free:
+		w.tryAttach(v, u)
+	default:
+		// Two placed nodes: anchors of distinct assemblies eliminate.
+		au, av := w.assembly[u], w.assembly[v]
+		if au == av {
+			return
+		}
+		if w.cell[u] != (Cell{0, 0}) || w.cell[v] != (Cell{0, 0}) {
+			return
+		}
+		loser := av
+		if len(w.members[au]) < len(w.members[av]) ||
+			(len(w.members[au]) == len(w.members[av]) && rng.Coin()) {
+			loser = au
+		}
+		w.dissolve(loser)
+	}
+}
+
+// tryAttach bonds a free node to the assembly of the placed node if
+// the placed node has a growth port available: East while its row is
+// short of the width, then North while its column is short of the
+// height.
+func (w *World) tryAttach(anchor, candidate int) {
+	id := w.assembly[anchor]
+	at := w.cell[anchor]
+	occ := w.occupied[id]
+	// Row growth: only along y = 0.
+	if at.Y == 0 && at.X+1 < w.width {
+		east := Cell{at.X + 1, 0}
+		if _, taken := occ[east]; !taken {
+			w.place(candidate, id, east)
+			w.members[id] = append(w.members[id], candidate)
+			occ[east] = candidate
+			return
+		}
+	}
+	// Column growth from any placed node.
+	if at.Y+1 < w.height {
+		north := Cell{at.X, at.Y + 1}
+		if _, taken := occ[north]; !taken {
+			w.place(candidate, id, north)
+			w.members[id] = append(w.members[id], candidate)
+			occ[north] = candidate
+		}
+	}
+}
+
+func (w *World) place(node, id int, at Cell) {
+	w.state[node] = placed
+	w.assembly[node] = id
+	w.cell[node] = at
+}
+
+func (w *World) dissolve(id int) {
+	for _, node := range w.members[id] {
+		w.state[node] = free
+		w.assembly[node] = -1
+	}
+	w.members[id] = nil
+	w.occupied[id] = nil
+	w.anchors--
+}
+
+// stable reports completion: a single assembly remains and it fills
+// the rectangle.
+func (w *World) stable(steps int64) (Result, bool) {
+	if w.anchors != 1 {
+		return Result{}, false
+	}
+	for id, members := range w.members {
+		if members == nil {
+			continue
+		}
+		if len(members) != w.width*w.height {
+			return Result{}, false
+		}
+		positions := make(map[int]Cell, len(members))
+		for _, node := range members {
+			positions[node] = w.cell[node]
+		}
+		_ = id
+		return Result{
+			Converged: true,
+			Steps:     steps,
+			Positions: positions,
+			Free:      w.n - len(members),
+		}, true
+	}
+	return Result{}, false
+}
+
+// IsRectangle verifies that positions tile exactly a width×height
+// rectangle anchored at (0,0).
+func IsRectangle(positions map[int]Cell, width, height int) bool {
+	if len(positions) != width*height {
+		return false
+	}
+	seen := make(map[Cell]bool, len(positions))
+	for _, c := range positions {
+		if c.X < 0 || c.X >= width || c.Y < 0 || c.Y >= height || seen[c] {
+			return false
+		}
+		seen[c] = true
+	}
+	return true
+}

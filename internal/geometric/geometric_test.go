@@ -1,0 +1,113 @@
+package geometric
+
+import "testing"
+
+func TestBuildSquare(t *testing.T) {
+	t.Parallel()
+	for _, s := range []int{2, 3, 4} {
+		s := s
+		for seed := uint64(1); seed <= 3; seed++ {
+			res, err := BuildRectangle(s, s, s*s+5, seed, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Fatalf("s=%d seed=%d: no convergence", s, seed)
+			}
+			if !IsRectangle(res.Positions, s, s) {
+				t.Fatalf("s=%d seed=%d: positions %v do not tile the square", s, seed, res.Positions)
+			}
+			if res.Free != 5 {
+				t.Fatalf("s=%d: %d free nodes, want 5", s, res.Free)
+			}
+		}
+	}
+}
+
+func TestBuildRectangleShapes(t *testing.T) {
+	t.Parallel()
+	cases := []struct{ w, h int }{{4, 1}, {1, 4}, {5, 2}, {2, 5}}
+	for _, tc := range cases {
+		res, err := BuildRectangle(tc.w, tc.h, tc.w*tc.h+3, 2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged || !IsRectangle(res.Positions, tc.w, tc.h) {
+			t.Fatalf("%dx%d: %+v", tc.w, tc.h, res)
+		}
+	}
+}
+
+func TestBuildRectangleExactPopulation(t *testing.T) {
+	t.Parallel()
+	// No spare nodes: rival assemblies must dissolve to free up
+	// material for the winner.
+	res, err := BuildRectangle(3, 3, 9, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Free != 0 {
+		t.Fatalf("exact population: %+v", res)
+	}
+}
+
+func TestBuildRectangleValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := BuildRectangle(1, 1, 5, 1, 0); err == nil {
+		t.Fatal("1×1 accepted")
+	}
+	if _, err := BuildRectangle(0, 3, 5, 1, 0); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	if _, err := BuildRectangle(4, 4, 10, 1, 0); err == nil {
+		t.Fatal("undersized population accepted")
+	}
+}
+
+func TestBuildRectangleBudget(t *testing.T) {
+	t.Parallel()
+	res, err := BuildRectangle(3, 3, 12, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("converged within 5 steps (impossible: needs ≥ 8 attachments)")
+	}
+	if res.Steps != 5 {
+		t.Fatalf("steps %d", res.Steps)
+	}
+}
+
+func TestIsRectangle(t *testing.T) {
+	t.Parallel()
+	good := map[int]Cell{0: {0, 0}, 1: {1, 0}, 2: {0, 1}, 3: {1, 1}}
+	if !IsRectangle(good, 2, 2) {
+		t.Fatal("valid square rejected")
+	}
+	if IsRectangle(good, 4, 1) {
+		t.Fatal("wrong shape accepted")
+	}
+	dup := map[int]Cell{0: {0, 0}, 1: {0, 0}, 2: {0, 1}, 3: {1, 1}}
+	if IsRectangle(dup, 2, 2) {
+		t.Fatal("duplicate cell accepted")
+	}
+	out := map[int]Cell{0: {0, 0}, 1: {5, 0}, 2: {0, 1}, 3: {1, 1}}
+	if IsRectangle(out, 2, 2) {
+		t.Fatal("out-of-bounds cell accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	t.Parallel()
+	a, err := BuildRectangle(3, 3, 14, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildRectangle(3, 3, 14, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Steps != b.Steps {
+		t.Fatalf("same seed diverged: %d vs %d", a.Steps, b.Steps)
+	}
+}

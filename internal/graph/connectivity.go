@@ -1,0 +1,48 @@
+package graph
+
+// Components returns the connected components as vertex slices, each
+// sorted ascending, ordered by smallest member.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	queue := make([]int, 0, g.n)
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		queue = queue[:0]
+		queue = append(queue, s)
+		comp := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+					comp = append(comp, v)
+				}
+			}
+		}
+		insertionSort(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Connected reports whether the graph is connected (the empty graph and
+// singletons count as connected).
+func (g *Graph) Connected() bool {
+	return g.n <= 1 || len(g.Components()) == 1
+}
+
+// insertionSort keeps the tiny-component common case allocation-free
+// compared with sort.Ints' interface indirection.
+func insertionSort(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

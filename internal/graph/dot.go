@@ -1,0 +1,41 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz DOT format. labels, when non-nil,
+// supplies a display label per vertex (e.g. the node's protocol state);
+// missing entries fall back to the vertex index.
+func (g *Graph) DOT(name string, labels []string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph %q {\n", sanitizeDOTName(name))
+	sb.WriteString("  layout=circo;\n")
+	for u := 0; u < g.n; u++ {
+		label := fmt.Sprintf("%d", u)
+		if u < len(labels) && labels[u] != "" {
+			label = fmt.Sprintf("%d:%s", u, labels[u])
+		}
+		fmt.Fprintf(&sb, "  n%d [label=%q];\n", u, label)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&sb, "  n%d -- n%d;\n", e[0], e[1])
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func sanitizeDOTName(name string) string {
+	if name == "" {
+		return "G"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}

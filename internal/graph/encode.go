@@ -1,0 +1,60 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// EncodeAdjacency returns the upper-triangular adjacency-matrix bit
+// string of g, row by row — the input format the paper's TMs receive
+// (length l = n(n−1)/2, so l = Θ(n²)).
+func (g *Graph) EncodeAdjacency() []byte {
+	bits := make([]byte, 0, g.n*(g.n-1)/2)
+	for u := 0; u < g.n; u++ {
+		for v := u + 1; v < g.n; v++ {
+			if g.HasEdge(u, v) {
+				bits = append(bits, 1)
+			} else {
+				bits = append(bits, 0)
+			}
+		}
+	}
+	return bits
+}
+
+// DecodeAdjacency reconstructs a graph on n vertices from its
+// upper-triangular bit string.
+func DecodeAdjacency(n int, bits []byte) (*Graph, error) {
+	want := n * (n - 1) / 2
+	if len(bits) != want {
+		return nil, fmt.Errorf("graph: adjacency encoding for n=%d needs %d bits, got %d", n, want, len(bits))
+	}
+	g := New(n)
+	i := 0
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			switch bits[i] {
+			case 0:
+			case 1:
+				g.AddEdge(u, v)
+			default:
+				return nil, errors.New("graph: adjacency encoding contains a non-bit value")
+			}
+			i++
+		}
+	}
+	return g, nil
+}
+
+// OrderFromEncodingLength inverts l = n(n−1)/2, returning the vertex
+// count for a valid encoding length.
+func OrderFromEncodingLength(l int) (int, error) {
+	n := 1
+	for n*(n-1)/2 < l {
+		n++
+	}
+	if n*(n-1)/2 != l {
+		return 0, fmt.Errorf("graph: %d is not a valid adjacency encoding length", l)
+	}
+	return n, nil
+}

@@ -1,0 +1,156 @@
+package graph
+
+import "sort"
+
+// Isomorphic reports whether g and h are isomorphic. It uses degree-
+// refinement pruning followed by backtracking search, which is fast for
+// the small output graphs checked during convergence detection and in
+// tests (tens of vertices). It is exact, not heuristic.
+func Isomorphic(g, h *Graph) bool {
+	if g.n != h.n {
+		return false
+	}
+	if g.n == 0 {
+		return true
+	}
+	if g.M() != h.M() {
+		return false
+	}
+	gSeq, hSeq := g.DegreeSequence(), h.DegreeSequence()
+	for i := range gSeq {
+		if gSeq[i] != hSeq[i] {
+			return false
+		}
+	}
+
+	gColors := refine(g)
+	hColors := refine(h)
+	if !sameColorHistogram(gColors, hColors) {
+		return false
+	}
+
+	// Order g's vertices most-constrained-first (rarest color first,
+	// then highest degree) to cut the search space.
+	order := make([]int, g.n)
+	for i := range order {
+		order[i] = i
+	}
+	gHist := colorHistogram(gColors)
+	sort.Slice(order, func(a, b int) bool {
+		u, v := order[a], order[b]
+		if gHist[gColors[u]] != gHist[gColors[v]] {
+			return gHist[gColors[u]] < gHist[gColors[v]]
+		}
+		return g.Degree(u) > g.Degree(v)
+	})
+
+	mapping := make([]int, g.n)
+	used := make([]bool, h.n)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	return matchNext(g, h, gColors, hColors, order, 0, mapping, used)
+}
+
+func matchNext(g, h *Graph, gColors, hColors []uint64, order []int, pos int, mapping []int, used []bool) bool {
+	if pos == len(order) {
+		return true
+	}
+	u := order[pos]
+	for v := 0; v < h.n; v++ {
+		if used[v] || gColors[u] != hColors[v] {
+			continue
+		}
+		if !consistent(g, h, u, v, mapping) {
+			continue
+		}
+		mapping[u] = v
+		used[v] = true
+		if matchNext(g, h, gColors, hColors, order, pos+1, mapping, used) {
+			return true
+		}
+		mapping[u] = -1
+		used[v] = false
+	}
+	return false
+}
+
+// consistent checks that assigning u→v preserves adjacency with every
+// already-mapped vertex.
+func consistent(g, h *Graph, u, v int, mapping []int) bool {
+	for w := 0; w < g.n; w++ {
+		mw := mapping[w]
+		if mw < 0 || w == u {
+			continue
+		}
+		if g.HasEdge(u, w) != h.HasEdge(v, mw) {
+			return false
+		}
+	}
+	return true
+}
+
+// refine computes stable vertex colors by iterated neighborhood
+// hashing (1-dimensional Weisfeiler–Leman), a strong invariant that
+// prunes most non-isomorphic pairs before search.
+func refine(g *Graph) []uint64 {
+	colors := make([]uint64, g.n)
+	for u := range colors {
+		colors[u] = uint64(g.Degree(u)) + 1
+	}
+	next := make([]uint64, g.n)
+	buf := make([]uint64, 0, g.n)
+	for round := 0; round < g.n; round++ {
+		changedClasses := false
+		before := countDistinct(colors)
+		for u := 0; u < g.n; u++ {
+			buf = buf[:0]
+			for _, v := range g.adj[u] {
+				buf = append(buf, colors[v])
+			}
+			sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+			hash := colors[u]*1099511628211 + 14695981039346656037
+			for _, c := range buf {
+				hash = hash*1099511628211 ^ c
+			}
+			next[u] = hash
+		}
+		copy(colors, next)
+		if countDistinct(colors) != before {
+			changedClasses = true
+		}
+		if !changedClasses {
+			break
+		}
+	}
+	return colors
+}
+
+func countDistinct(colors []uint64) int {
+	seen := make(map[uint64]struct{}, len(colors))
+	for _, c := range colors {
+		seen[c] = struct{}{}
+	}
+	return len(seen)
+}
+
+func colorHistogram(colors []uint64) map[uint64]int {
+	hist := make(map[uint64]int, len(colors))
+	for _, c := range colors {
+		hist[c]++
+	}
+	return hist
+}
+
+func sameColorHistogram(a, b []uint64) bool {
+	ha, hb := colorHistogram(a), colorHistogram(b)
+	if len(ha) != len(hb) {
+		return false
+	}
+	for c, n := range ha {
+		if hb[c] != n {
+			return false
+		}
+	}
+	return true
+}

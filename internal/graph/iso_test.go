@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// relabel returns g with vertices permuted by a random permutation.
+func relabel(g *Graph, rng *rand.Rand) *Graph {
+	perm := rng.Perm(g.N())
+	out := New(g.N())
+	for _, e := range g.Edges() {
+		out.AddEdge(perm[e[0]], perm[e[1]])
+	}
+	return out
+}
+
+// TestIsomorphicToRelabeling is the core property: every graph is
+// isomorphic to any relabeling of itself.
+func TestIsomorphicToRelabeling(t *testing.T) {
+	t.Parallel()
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^7))
+		n := 2 + int(seed%14)
+		g := Gnp(n, 0.45, rng)
+		return Isomorphic(g, relabel(g, rng))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonIsomorphicBasics(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		a, b *Graph
+	}{
+		{"different order", Line(4), Line(5)},
+		{"different size", Line(4), Ring(4)},
+		{"line vs star", Line(4), Star(4)},
+		{"same degree sequence, different structure",
+			// Two 2-regular graphs on 6 vertices: C6 vs 2×C3.
+			Ring(6), disjoint(Ring(3), Ring(3))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			if Isomorphic(tc.a, tc.b) {
+				t.Fatalf("%v ≅ %v reported", tc.a, tc.b)
+			}
+		})
+	}
+}
+
+func TestIsomorphicSmall(t *testing.T) {
+	t.Parallel()
+	if !Isomorphic(New(0), New(0)) {
+		t.Fatal("empty graphs not isomorphic")
+	}
+	if !Isomorphic(New(3), New(3)) {
+		t.Fatal("edgeless graphs not isomorphic")
+	}
+	// A path relabeled by reversal.
+	a := Line(6)
+	b := New(6)
+	for i := 0; i+1 < 6; i++ {
+		b.AddEdge(5-i, 5-(i+1))
+	}
+	if !Isomorphic(a, b) {
+		t.Fatal("reversed path not isomorphic")
+	}
+}
+
+// TestIsomorphicHardPair exercises the refinement on a classic
+// regular pair: the 3-prism (K3×K2) and K3,3 are both 3-regular on 6
+// vertices but not isomorphic (K3,3 is triangle-free).
+func TestIsomorphicHardPair(t *testing.T) {
+	t.Parallel()
+	prism := New(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {0, 3}, {1, 4}, {2, 5}} {
+		prism.AddEdge(e[0], e[1])
+	}
+	k33 := New(6)
+	for u := 0; u < 3; u++ {
+		for v := 3; v < 6; v++ {
+			k33.AddEdge(u, v)
+		}
+	}
+	if Isomorphic(prism, k33) {
+		t.Fatal("prism ≅ K3,3 reported")
+	}
+	rng := rand.New(rand.NewPCG(5, 6))
+	if !Isomorphic(k33, relabel(k33, rng)) {
+		t.Fatal("K3,3 not isomorphic to its relabeling")
+	}
+	if !Isomorphic(prism, relabel(prism, rng)) {
+		t.Fatal("prism not isomorphic to its relabeling")
+	}
+}
+
+// TestIsomorphicPetersen: the Petersen graph is vertex-transitive and
+// strongly regular — a stress test for the backtracking matcher.
+func TestIsomorphicPetersen(t *testing.T) {
+	t.Parallel()
+	petersen := func() *Graph {
+		g := New(10)
+		for i := 0; i < 5; i++ {
+			g.AddEdge(i, (i+1)%5)     // outer cycle
+			g.AddEdge(5+i, 5+(i+2)%5) // inner pentagram
+			g.AddEdge(i, 5+i)         // spokes
+		}
+		return g
+	}
+	p1 := petersen()
+	rng := rand.New(rand.NewPCG(11, 13))
+	if !Isomorphic(p1, relabel(p1, rng)) {
+		t.Fatal("Petersen not isomorphic to its relabeling")
+	}
+	// 3-regular on 10 vertices but with a triangle: not Petersen.
+	other := New(10)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}} {
+		other.AddEdge(e[0], e[1])
+	}
+	for _, e := range [][2]int{{3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 8}, {8, 9}, {9, 3}, {0, 3}, {1, 5}, {2, 7}, {4, 8}, {6, 9}} {
+		other.AddEdge(e[0], e[1])
+	}
+	if p1.DegreeSequence()[0] == other.DegreeSequence()[0] && Isomorphic(p1, other) {
+		t.Fatal("Petersen isomorphic to a triangle-containing graph")
+	}
+}
+
+func TestIsomorphismIsEquivalence(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(21, 22))
+	g := Gnp(9, 0.5, rng)
+	h := relabel(g, rng)
+	k := relabel(h, rng)
+	if !Isomorphic(g, h) || !Isomorphic(h, g) {
+		t.Fatal("not symmetric")
+	}
+	if !Isomorphic(g, k) {
+		t.Fatal("not transitive")
+	}
+	if !Isomorphic(g, g) {
+		t.Fatal("not reflexive")
+	}
+}

@@ -1,0 +1,246 @@
+package graph
+
+// Predicates for the target networks of Section 3.2. Each runs in
+// O(n + m) and is used both by convergence detectors and by tests.
+
+// IsSpanningLine reports whether g is a path spanning all vertices:
+// connected, two vertices of degree 1, the rest of degree 2 (with the
+// degenerate cases: a single vertex and a single edge are lines).
+func (g *Graph) IsSpanningLine() bool {
+	switch g.n {
+	case 0:
+		return false
+	case 1:
+		return g.M() == 0
+	}
+	if g.M() != g.n-1 {
+		return false
+	}
+	deg1 := 0
+	for u := 0; u < g.n; u++ {
+		switch g.Degree(u) {
+		case 1:
+			deg1++
+		case 2:
+		default:
+			return false
+		}
+	}
+	return deg1 == 2 && g.Connected()
+}
+
+// IsSpanningRing reports whether g is a cycle spanning all vertices:
+// connected and 2-regular. Rings require n ≥ 3.
+func (g *Graph) IsSpanningRing() bool {
+	if g.n < 3 || g.M() != g.n {
+		return false
+	}
+	for u := 0; u < g.n; u++ {
+		if g.Degree(u) != 2 {
+			return false
+		}
+	}
+	return g.Connected()
+}
+
+// IsSpanningStar reports whether g is a star spanning all vertices: one
+// center of degree n−1 and n−1 leaves of degree 1. Stars require n ≥ 2.
+func (g *Graph) IsSpanningStar() bool {
+	if g.n < 2 || g.M() != g.n-1 {
+		return false
+	}
+	centers, leaves := 0, 0
+	for u := 0; u < g.n; u++ {
+		switch g.Degree(u) {
+		case g.n - 1:
+			centers++
+		case 1:
+			leaves++
+		default:
+			return false
+		}
+	}
+	if g.n == 2 {
+		// Both vertices have degree 1 = n−1; a single edge is a star.
+		return true
+	}
+	return centers == 1 && leaves == g.n-1
+}
+
+// IsCycleCover reports whether g is a node-disjoint union of cycles
+// covering every vertex (every vertex has degree exactly 2).
+func (g *Graph) IsCycleCover() bool {
+	if g.n < 3 {
+		return false
+	}
+	for u := 0; u < g.n; u++ {
+		if g.Degree(u) != 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsCycleCoverWithWaste reports whether at least n−waste vertices have
+// degree exactly 2 and the remaining form a legal residue: each
+// non-covered vertex has degree 0 or is one endpoint of a single
+// isolated active edge. This matches Theorem 5's guarantee (waste 2).
+func (g *Graph) IsCycleCoverWithWaste(waste int) bool {
+	var leftovers []int
+	for u := 0; u < g.n; u++ {
+		if g.Degree(u) != 2 {
+			leftovers = append(leftovers, u)
+		}
+	}
+	if len(leftovers) > waste {
+		return false
+	}
+	// Residue legality: leftover vertices may only connect to each
+	// other, forming isolated vertices or a lone edge.
+	for _, u := range leftovers {
+		switch g.Degree(u) {
+		case 0:
+		case 1:
+			v := g.adj[u][0]
+			if g.Degree(v) == 2 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// IsKRegularConnected reports whether g is connected and k-regular.
+func (g *Graph) IsKRegularConnected(k int) bool {
+	if g.n < k+1 {
+		return false
+	}
+	for u := 0; u < g.n; u++ {
+		if g.Degree(u) != k {
+			return false
+		}
+	}
+	return g.Connected()
+}
+
+// IsNearKRegularConnected checks Theorem 11's guarantee: connected,
+// at least n−k+1 vertices of degree exactly k, and each of the
+// remaining ℓ ≤ k−1 vertices of degree between ℓ−1 and k−1.
+func (g *Graph) IsNearKRegularConnected(k int) bool {
+	if g.n < k+1 || !g.Connected() {
+		return false
+	}
+	var low []int
+	for u := 0; u < g.n; u++ {
+		d := g.Degree(u)
+		switch {
+		case d == k:
+		case d < k:
+			low = append(low, u)
+		default:
+			return false
+		}
+	}
+	l := len(low)
+	if l > k-1 {
+		return false
+	}
+	for _, u := range low {
+		if d := g.Degree(u); d < l-1 || d > k-1 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsCliquePartition reports whether g is a disjoint union of ⌊n/c⌋
+// cliques of order c, with the n mod c leftover vertices isolated.
+func (g *Graph) IsCliquePartition(c int) bool {
+	if c < 1 {
+		return false
+	}
+	comps := g.Components()
+	cliques := 0
+	for _, comp := range comps {
+		switch {
+		case len(comp) == 1:
+			// Isolated leftover (or a trivial clique when c == 1).
+			if c == 1 {
+				cliques++
+			}
+		case len(comp) == c:
+			sub, _ := g.InducedSubgraph(comp)
+			if sub.M() != c*(c-1)/2 {
+				return false
+			}
+			cliques++
+		default:
+			return false
+		}
+	}
+	leftovers := g.n - cliques*c
+	return cliques == g.n/c && leftovers == g.n%c
+}
+
+// IsPerfectMatchingSize reports whether g is a matching of exactly m
+// edges: m disjoint edges, all other vertices isolated.
+func (g *Graph) IsPerfectMatchingSize(m int) bool {
+	if g.M() != m {
+		return false
+	}
+	for u := 0; u < g.n; u++ {
+		if g.Degree(u) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsMaximumMatching reports whether g is a matching of ⌊n/2⌋ edges.
+func (g *Graph) IsMaximumMatching() bool {
+	return g.IsPerfectMatchingSize(g.n / 2)
+}
+
+// IsSpanning reports whether every vertex has at least one incident
+// edge (the "spanning network" of Theorem 1).
+func (g *Graph) IsSpanning() bool {
+	if g.n < 2 {
+		return false
+	}
+	for u := 0; u < g.n; u++ {
+		if g.Degree(u) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsTriangleFree reports whether g contains no 3-cycle. O(n·m).
+func (g *Graph) IsTriangleFree() bool {
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if v < u {
+				continue
+			}
+			for _, w := range g.adj[v] {
+				if w > v && g.HasEdge(u, w) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// MaxDegree returns the maximum vertex degree (0 for empty graphs).
+func (g *Graph) MaxDegree() int {
+	maxDeg := 0
+	for u := 0; u < g.n; u++ {
+		if d := g.Degree(u); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return maxDeg
+}

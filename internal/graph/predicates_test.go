@@ -1,0 +1,274 @@
+package graph
+
+import "testing"
+
+func TestIsSpanningLine(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		g    *Graph
+		want bool
+	}{
+		{"empty", New(0), false},
+		{"singleton", New(1), true},
+		{"single edge", Line(2), true},
+		{"path 5", Line(5), true},
+		{"ring 5", Ring(5), false},
+		{"star 5", Star(5), false},
+		{"disconnected paths", disjoint(Line(3), Line(3)), false},
+		{"path plus chord", withEdge(Line(5), 0, 2), false},
+		{"singleton with phantom edge", withEdge(New(1), 0, 0), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			if got := tc.g.IsSpanningLine(); got != tc.want {
+				t.Fatalf("IsSpanningLine(%v) = %v", tc.g, got)
+			}
+		})
+	}
+}
+
+func TestIsSpanningRing(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		g    *Graph
+		want bool
+	}{
+		{"triangle", Ring(3), true},
+		{"ring 8", Ring(8), true},
+		{"too small", Ring(2), false},
+		{"line", Line(6), false},
+		{"two triangles", disjoint(Ring(3), Ring(3)), false},
+		{"ring with chord", withEdge(Ring(6), 0, 3), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			if got := tc.g.IsSpanningRing(); got != tc.want {
+				t.Fatalf("IsSpanningRing(%v) = %v", tc.g, got)
+			}
+		})
+	}
+}
+
+func TestIsSpanningStar(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		g    *Graph
+		want bool
+	}{
+		{"two nodes", Star(2), true},
+		{"star 7", Star(7), true},
+		{"singleton", New(1), false},
+		{"star plus leaf edge", withEdge(Star(5), 1, 2), false},
+		{"path 3 is a star", Line(3), true},
+		{"path 4 is not", Line(4), false},
+		{"missing leaf", disjoint(Star(4), New(1)), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			if got := tc.g.IsSpanningStar(); got != tc.want {
+				t.Fatalf("IsSpanningStar(%v) = %v", tc.g, got)
+			}
+		})
+	}
+}
+
+func TestIsCycleCover(t *testing.T) {
+	t.Parallel()
+	if !Ring(5).IsCycleCover() {
+		t.Fatal("ring is a cycle cover")
+	}
+	if !disjoint(Ring(3), Ring(4)).IsCycleCover() {
+		t.Fatal("two disjoint cycles are a cycle cover")
+	}
+	if Line(4).IsCycleCover() {
+		t.Fatal("path is not a cycle cover")
+	}
+	if Ring(2).IsCycleCover() {
+		t.Fatal("2-ring is not a cycle cover")
+	}
+}
+
+func TestIsCycleCoverWithWaste(t *testing.T) {
+	t.Parallel()
+	full := disjoint(Ring(3), Ring(5))
+	if !full.IsCycleCoverWithWaste(2) {
+		t.Fatal("exact cover rejected")
+	}
+	oneIso := disjoint(Ring(4), New(1))
+	if !oneIso.IsCycleCoverWithWaste(2) {
+		t.Fatal("isolated leftover rejected")
+	}
+	loneEdge := disjoint(Ring(4), Line(2))
+	if !loneEdge.IsCycleCoverWithWaste(2) {
+		t.Fatal("lone-edge leftover rejected")
+	}
+	path3 := disjoint(Ring(4), Line(3))
+	if path3.IsCycleCoverWithWaste(2) {
+		t.Fatal("3-path leftover accepted (its ends can still close)")
+	}
+	threeLeft := disjoint(Ring(3), New(1), New(1), New(1))
+	if threeLeft.IsCycleCoverWithWaste(2) {
+		t.Fatal("three leftovers exceed waste 2")
+	}
+}
+
+func TestIsKRegularConnected(t *testing.T) {
+	t.Parallel()
+	if !Ring(7).IsKRegularConnected(2) {
+		t.Fatal("ring is 2-regular connected")
+	}
+	if !Complete(5).IsKRegularConnected(4) {
+		t.Fatal("K5 is 4-regular connected")
+	}
+	if disjoint(Ring(3), Ring(3)).IsKRegularConnected(2) {
+		t.Fatal("disjoint rings accepted")
+	}
+	if Ring(3).IsKRegularConnected(3) {
+		t.Fatal("triangle is not 3-regular")
+	}
+	if Complete(3).IsKRegularConnected(4) {
+		t.Fatal("n < k+1 accepted")
+	}
+	// The cube graph: 3-regular connected on 8 nodes.
+	cube := New(8)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {4, 5}, {5, 6}, {6, 7}, {7, 4}, {0, 4}, {1, 5}, {2, 6}, {3, 7}} {
+		cube.AddEdge(e[0], e[1])
+	}
+	if !cube.IsKRegularConnected(3) {
+		t.Fatal("cube not 3-regular connected")
+	}
+}
+
+func TestIsNearKRegularConnected(t *testing.T) {
+	t.Parallel()
+	if !Ring(8).IsNearKRegularConnected(2) {
+		t.Fatal("exact ring rejected")
+	}
+	// K4 minus one edge: two nodes of degree 2, two of degree 3 —
+	// legal for k=3 (ℓ=2 low nodes of degree 2 ≥ ℓ−1=1).
+	nearK4 := Complete(4)
+	removeEdge(nearK4, 0, 1)
+	if !nearK4.IsNearKRegularConnected(3) {
+		t.Fatal("K4 minus an edge rejected for k=3")
+	}
+	// A node of excess degree disqualifies.
+	if withEdge(Ring(6), 0, 3).IsNearKRegularConnected(2) {
+		t.Fatal("chord (degree 3) accepted for k=2")
+	}
+	if disjoint(Ring(4), Ring(4)).IsNearKRegularConnected(2) {
+		t.Fatal("disconnected accepted")
+	}
+}
+
+func TestIsCliquePartition(t *testing.T) {
+	t.Parallel()
+	if !disjoint(Complete(3), Complete(3)).IsCliquePartition(3) {
+		t.Fatal("two triangles rejected")
+	}
+	if !disjoint(Complete(3), New(1)).IsCliquePartition(3) {
+		t.Fatal("leftover isolated node rejected")
+	}
+	if disjoint(Complete(3), Line(3)).IsCliquePartition(3) {
+		t.Fatal("path component accepted as clique")
+	}
+	if disjoint(Complete(4)).IsCliquePartition(3) {
+		t.Fatal("oversized component accepted")
+	}
+	if !New(2).IsCliquePartition(1) {
+		t.Fatal("c=1 should accept isolated nodes")
+	}
+	if New(2).IsCliquePartition(0) {
+		t.Fatal("c=0 accepted")
+	}
+}
+
+func TestMatchingPredicates(t *testing.T) {
+	t.Parallel()
+	m := disjoint(Line(2), Line(2), New(1))
+	if !m.IsMaximumMatching() {
+		t.Fatal("2 disjoint edges on 5 nodes is a maximum matching")
+	}
+	if !m.IsPerfectMatchingSize(2) {
+		t.Fatal("size-2 matching rejected")
+	}
+	if m.IsPerfectMatchingSize(3) {
+		t.Fatal("wrong matching size accepted")
+	}
+	if Line(3).IsMaximumMatching() {
+		t.Fatal("path of 3 accepted as matching")
+	}
+}
+
+func TestIsSpanning(t *testing.T) {
+	t.Parallel()
+	if !Ring(5).IsSpanning() || !disjoint(Line(2), Line(2)).IsSpanning() {
+		t.Fatal("covered graphs rejected")
+	}
+	if disjoint(Line(2), New(1)).IsSpanning() {
+		t.Fatal("isolated node accepted")
+	}
+	if New(1).IsSpanning() {
+		t.Fatal("singleton cannot be spanning")
+	}
+}
+
+func TestIsTriangleFree(t *testing.T) {
+	t.Parallel()
+	if !Ring(4).IsTriangleFree() || !Line(10).IsTriangleFree() {
+		t.Fatal("triangle-free graphs rejected")
+	}
+	if Ring(3).IsTriangleFree() || Complete(5).IsTriangleFree() {
+		t.Fatal("triangles not detected")
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	t.Parallel()
+	if Star(6).MaxDegree() != 5 || New(3).MaxDegree() != 0 || New(0).MaxDegree() != 0 {
+		t.Fatal("max degree wrong")
+	}
+}
+
+// disjoint unions graphs with relabeled vertices.
+func disjoint(gs ...*Graph) *Graph {
+	total := 0
+	for _, g := range gs {
+		total += g.N()
+	}
+	out := New(total)
+	offset := 0
+	for _, g := range gs {
+		for _, e := range g.Edges() {
+			out.AddEdge(e[0]+offset, e[1]+offset)
+		}
+		offset += g.N()
+	}
+	return out
+}
+
+func withEdge(g *Graph, u, v int) *Graph {
+	c := g.Clone()
+	c.AddEdge(u, v)
+	return c
+}
+
+func removeEdge(g *Graph, u, v int) {
+	for i, w := range g.adj[u] {
+		if w == v {
+			g.adj[u] = append(g.adj[u][:i], g.adj[u][i+1:]...)
+			break
+		}
+	}
+	for i, w := range g.adj[v] {
+		if w == u {
+			g.adj[v] = append(g.adj[v][:i], g.adj[v][i+1:]...)
+			break
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package protocols
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Failure-injection tests: the Section 5 constructors must stabilize
+// under fair schedulers far from the uniform one, since their
+// correctness proofs use only fairness.
+
+func TestCycleCoverUnderAdversarialSchedulers(t *testing.T) {
+	t.Parallel()
+	c := CycleCover()
+	for _, sched := range []core.Scheduler{
+		&core.RoundRobinScheduler{},
+		&core.PermutationScheduler{},
+		&core.BiasedScheduler{Cut: 5, Epsilon: 0.1},
+	} {
+		res, err := core.Run(c.Proto, 14, core.Options{
+			Seed:      3,
+			Detector:  c.Detector,
+			Scheduler: sched,
+			MaxSteps:  50_000_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("scheduler %s: no convergence", sched.Name())
+		}
+		if g := ActiveGraph(res.Final); !g.IsCycleCoverWithWaste(2) {
+			t.Fatalf("scheduler %s: %v", sched.Name(), g)
+		}
+	}
+}
+
+func TestCCliquesUnderBiasedScheduler(t *testing.T) {
+	t.Parallel()
+	cons, err := CCliques(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(cons.Proto, 9, core.Options{
+		Seed:      5,
+		Detector:  cons.Detector,
+		Scheduler: &core.BiasedScheduler{Cut: 4, Epsilon: 0.2},
+		MaxSteps:  100_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("biased scheduler: no convergence")
+	}
+	if g := ActiveGraph(res.Final); !g.IsCliquePartition(3) {
+		t.Fatalf("biased scheduler: %v", g)
+	}
+}
+
+func TestTwoRCUnderPermutationScheduler(t *testing.T) {
+	t.Parallel()
+	c := TwoRC()
+	res, err := core.Run(c.Proto, 8, core.Options{
+		Seed:      2,
+		Detector:  c.Detector,
+		Scheduler: &core.PermutationScheduler{},
+		MaxSteps:  50_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("permutation scheduler: no convergence")
+	}
+	if g := ActiveGraph(res.Final); !g.IsSpanningRing() {
+		t.Fatalf("permutation scheduler: %v", g)
+	}
+}
+
+// TestGlobalRingOpensBlockedCycles drives the protocol into a
+// configuration with a prematurely closed sub-ring plus leftover
+// nodes and verifies it reopens and still spans. This is the exact
+// dynamic the double-primed states exist for.
+func TestGlobalRingOpensBlockedCycles(t *testing.T) {
+	t.Parallel()
+	c := GlobalRing()
+	idx := func(name string) core.State {
+		s, ok := c.Proto.StateIndex(name)
+		if !ok {
+			t.Fatalf("missing state %q", name)
+		}
+		return s
+	}
+	// A closed 4-cycle (l′, q2′, q2, q2) plus 3 isolated q0 nodes.
+	cfg := core.NewConfig(c.Proto, 7)
+	cfg.SetNode(0, idx("l'"))
+	cfg.SetNode(1, idx("q2'"))
+	cfg.SetNode(2, idx("q2"))
+	cfg.SetNode(3, idx("q2"))
+	cfg.SetEdge(0, 1, true)
+	cfg.SetEdge(1, 2, true)
+	cfg.SetEdge(2, 3, true)
+	cfg.SetEdge(3, 0, true)
+	for seed := uint64(1); seed <= 4; seed++ {
+		res, err := core.Run(c.Proto, 7, core.Options{Seed: seed, Detector: c.Detector, Initial: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("seed %d: blocked cycle never reopened", seed)
+		}
+		if g := ActiveGraph(res.Final); !g.IsSpanningRing() {
+			t.Fatalf("seed %d: %v", seed, g)
+		}
+	}
+}
+
+// TestKRCStealsFromClosedComponents: a closed k-regular component must
+// open when isolated nodes remain (the l_{k+1} mechanism), ending
+// spanning.
+func TestKRCStealsFromClosedComponents(t *testing.T) {
+	t.Parallel()
+	c := TwoRC() // k = 2: closed component = a cycle
+	idx := func(name string) core.State {
+		s, ok := c.Proto.StateIndex(name)
+		if !ok {
+			t.Fatalf("missing state %q", name)
+		}
+		return s
+	}
+	// A 3-cycle with its leader plus 3 isolated nodes.
+	cfg := core.NewConfig(c.Proto, 6)
+	cfg.SetNode(0, idx("l2"))
+	cfg.SetNode(1, idx("q2"))
+	cfg.SetNode(2, idx("q2"))
+	cfg.SetEdge(0, 1, true)
+	cfg.SetEdge(1, 2, true)
+	cfg.SetEdge(2, 0, true)
+	res, err := core.Run(c.Proto, 6, core.Options{Seed: 1, Detector: c.Detector, Initial: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("closed cycle never opened towards the isolated nodes")
+	}
+	if g := ActiveGraph(res.Final); !g.IsSpanningRing() {
+		t.Fatalf("final %v", g)
+	}
+}

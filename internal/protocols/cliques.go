@@ -1,0 +1,184 @@
+package protocols
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// CCliques returns Protocol 8, the (5c−3)-state constructor that
+// partitions the population into ⌊n/c⌋ cliques of order c (Theorem 12).
+// The n mod c leftover nodes stabilize as one incomplete component.
+//
+// Each component is assembled by a leader that recruits c−1 followers,
+// converts them to degree-counting states, and then roams its own
+// component checking for (and dismantling, together with the other
+// component's leader) wrong inter-component connections.
+func CCliques(c int) (Constructor, error) {
+	if c < 2 {
+		return Constructor{}, fmt.Errorf("protocols: c-Cliques requires c ≥ 2, got %d", c)
+	}
+	if 5*c-3 > core.MaxStates {
+		return Constructor{}, fmt.Errorf("protocols: c-Cliques with c=%d exceeds the state budget", c)
+	}
+
+	// State layout, in order: l0..l_{c−2}, f1..f_{c−2}, f, l̄0..l̄_{c−2},
+	// l, 1..c−1, l′1..l′_{c−1}, r.
+	names := make([]string, 0, 5*c-3)
+	index := make(map[string]core.State, 5*c-3)
+	addState := func(name string) {
+		index[name] = core.State(len(names))
+		names = append(names, name)
+	}
+	for i := 0; i <= c-2; i++ {
+		addState(fmt.Sprintf("l%d", i))
+	}
+	for i := 1; i <= c-2; i++ {
+		addState(fmt.Sprintf("f%d", i))
+	}
+	addState("f")
+	for i := 0; i <= c-2; i++ {
+		addState(fmt.Sprintf("lbar%d", i))
+	}
+	addState("l")
+	for i := 1; i <= c-1; i++ {
+		addState(fmt.Sprintf("%d", i))
+	}
+	for i := 1; i <= c-1; i++ {
+		addState(fmt.Sprintf("l'%d", i))
+	}
+	addState("r")
+
+	li := func(i int) core.State { return index[fmt.Sprintf("l%d", i)] }
+	fi := func(i int) core.State { return index[fmt.Sprintf("f%d", i)] }
+	lbar := func(i int) core.State { return index[fmt.Sprintf("lbar%d", i)] }
+	num := func(i int) core.State { return index[fmt.Sprintf("%d", i)] }
+	lp := func(i int) core.State { return index[fmt.Sprintf("l'%d", i)] }
+	fSt, lSt, rSt := index["f"], index["l"], index["r"]
+
+	var rules []core.Rule
+	add := func(a, b core.State, edge bool, oa, ob core.State, oe bool) {
+		rules = append(rules, core.Rule{A: a, B: b, Edge: edge, OutA: oa, OutB: ob, OutEdge: oe})
+	}
+
+	// A leader grows its component by attracting isolated nodes; the
+	// node completing the component enters the numbered phase directly.
+	if c == 2 {
+		// Degenerate completion: a pair is a finished component and
+		// there are no f-followers to convert.
+		add(li(0), li(0), false, lSt, num(1), true)
+	} else {
+		for i := 0; i < c-2; i++ {
+			add(li(i), li(0), false, li(i+1), fSt, true)
+		}
+		add(li(c-2), li(0), false, lbar(1), num(1), true)
+	}
+	// Nondeterministic elimination of incomplete components: a leader
+	// absorbs another leader (which must later release its own
+	// followers) to avoid deadlock among undersized components.
+	for i := 1; i <= c-2; i++ {
+		for j := 1; j <= i; j++ {
+			if i < c-2 {
+				add(li(i), li(j), false, li(i+1), fi(j), true)
+			} else {
+				add(li(i), li(j), false, lbar(0), fi(j), true)
+			}
+		}
+	}
+	// An absorbed leader releases its old followers one by one.
+	for i := 2; i <= c-2; i++ {
+		add(fi(i), fSt, true, fi(i-1), li(0), false)
+	}
+	if c >= 3 {
+		add(fi(1), fSt, true, fSt, li(0), false)
+	}
+	// The leader of a complete component converts its f-followers into
+	// numbered, degree-counting followers.
+	for i := 0; i < c-2; i++ {
+		add(lbar(i), fSt, true, lbar(i+1), num(1), true)
+	}
+	if c >= 3 {
+		add(lbar(c-2), fSt, true, lSt, num(1), true)
+	}
+	// Numbered followers connect until their degree reaches c−1; the
+	// counter equals the active degree (leader connection included).
+	for i := 1; i <= c-2; i++ {
+		for j := 1; j <= i; j++ {
+			add(num(i), num(j), false, num(i+1), num(j+1), true)
+		}
+	}
+	// The leader temporarily takes a follower's place to inspect its
+	// connections.
+	for i := 1; i <= c-1; i++ {
+		add(lSt, num(i), true, rSt, lp(i), true)
+	}
+	// Two visiting leaders joined by an active edge sit on different
+	// components: the connection is wrong and is dismantled. Counters
+	// of 1 carry only the (correct) leader connection, so only i ≥ 2
+	// can occur here.
+	for i := 2; i <= c-1; i++ {
+		for j := 2; j <= i; j++ {
+			add(lp(i), lp(j), true, lp(i-1), lp(j-1), false)
+		}
+	}
+	// The leader returns to its own position nondeterministically.
+	for i := 1; i <= c-1; i++ {
+		add(lp(i), rSt, true, num(i), lSt, true)
+	}
+
+	p, err := core.NewProtocol(fmt.Sprintf("c-Cliques(c=%d)", c), names, li(0), nil, rules)
+	if err != nil {
+		return Constructor{}, fmt.Errorf("protocols: compile c-Cliques: %w", err)
+	}
+
+	det := core.Detector{
+		Trigger: core.TriggerEffective,
+		Stable: func(cfg *core.Config) bool {
+			n := cfg.N()
+			// An absorbed leader still holding its old connections
+			// means pending deactivations.
+			for j := 1; j <= c-2; j++ {
+				if cfg.Count(fi(j)) != 0 {
+					return false
+				}
+			}
+			g := ActiveGraph(cfg)
+			cliques := 0
+			leftover := -1
+			for _, comp := range g.Components() {
+				switch {
+				case len(comp) == c:
+					sub, _ := g.InducedSubgraph(comp)
+					if sub.M() != c*(c-1)/2 {
+						return false
+					}
+					cliques++
+				case len(comp) == n%c && leftover < 0:
+					// The single incomplete component: an isolated
+					// node or a star around its leader.
+					if len(comp) > 1 {
+						sub, _ := g.InducedSubgraph(comp)
+						if !sub.IsSpanningStar() {
+							return false
+						}
+					}
+					leftover = len(comp)
+				default:
+					return false
+				}
+			}
+			if cliques != n/c {
+				return false
+			}
+			if n%c == 0 {
+				return leftover < 0
+			}
+			return leftover == n%c
+		},
+	}
+	return Constructor{
+		Proto:    p,
+		Detector: det,
+		Target:   fmt.Sprintf("partition into ⌊n/%d⌋ cliques of order %d", c, c),
+	}, nil
+}

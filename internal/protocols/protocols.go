@@ -1,0 +1,56 @@
+// Package protocols implements every direct network constructor from
+// Michail & Spirakis: the spanning-line protocols of Section 4
+// (Simple-Global-Line, Fast-Global-Line and the experimental
+// Faster-Global-Line of Section 7), the Section 5 constructors
+// (Cycle-Cover, Global-Star, Global-Ring, 2RC, kRC, c-Cliques,
+// Graph-Replication), the Theorem 1 spanning-network protocol, and the
+// degree-doubling construction discussed in Sections 5 and 7.
+//
+// Each constructor pairs its compiled protocol with a convergence
+// detector whose predicate holds exactly on configurations the paper
+// proves output-stable, so a detected run's ConvergenceTime is the
+// paper's running time.
+package protocols
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Constructor bundles a protocol with its stability detector and a
+// human-readable description of the target network.
+type Constructor struct {
+	Proto    *core.Protocol
+	Detector core.Detector
+	Target   string
+}
+
+// ActiveGraph returns the graph induced by all nodes and the active
+// edges — the output graph for protocols whose every state is an
+// output state.
+func ActiveGraph(cfg *core.Config) *graph.Graph {
+	return graph.FromPairs(cfg.N(), cfg.Edge)
+}
+
+// OutputGraph returns the paper's output graph: the subgraph induced by
+// nodes in output states together with the active edges joining them.
+// The returned mapping translates output-graph vertices back to
+// population node indices.
+func OutputGraph(cfg *core.Config) (*graph.Graph, []int) {
+	p := cfg.Protocol()
+	var members []int
+	for u := 0; u < cfg.N(); u++ {
+		if p.IsOutput(cfg.Node(u)) {
+			members = append(members, u)
+		}
+	}
+	g := graph.New(len(members))
+	for i, u := range members {
+		for j := i + 1; j < len(members); j++ {
+			if cfg.Edge(u, members[j]) {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g, members
+}

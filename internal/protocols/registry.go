@@ -1,0 +1,59 @@
+package protocols
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Registry maps protocol names to constructors, for the CLI tools and
+// table generators. Parameterized protocols are registered at useful
+// default parameters; use the typed constructors directly for other
+// parameters.
+func Registry() map[string]Constructor {
+	reg := map[string]Constructor{
+		"simple-global-line": SimpleGlobalLine(),
+		"fast-global-line":   FastGlobalLine(),
+		"faster-global-line": FasterGlobalLine(),
+		"spanning-net":       SpanningNet(),
+		"cycle-cover":        CycleCover(),
+		"global-star":        GlobalStar(),
+		"global-ring":        GlobalRing(),
+		"2rc":                TwoRC(),
+	}
+	if krc, err := KRC(3); err == nil {
+		reg["3rc"] = krc
+	}
+	if krc, err := KRC(4); err == nil {
+		reg["4rc"] = krc
+	}
+	if cl, err := CCliques(3); err == nil {
+		reg["3-cliques"] = cl
+	}
+	if cl, err := CCliques(4); err == nil {
+		reg["4-cliques"] = cl
+	}
+	if dd, err := DegreeDoubling(3); err == nil {
+		reg["degree-doubling"] = dd
+	}
+	return reg
+}
+
+// Names returns the sorted registry keys.
+func Names() []string {
+	reg := Registry()
+	names := make([]string, 0, len(reg))
+	for name := range reg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup fetches a registered constructor by name.
+func Lookup(name string) (Constructor, error) {
+	c, ok := Registry()[name]
+	if !ok {
+		return Constructor{}, fmt.Errorf("protocols: unknown protocol %q (known: %v)", name, Names())
+	}
+	return c, nil
+}

@@ -1,0 +1,60 @@
+package protocols
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// TestSmokeAllProtocols runs every registered protocol once at a small
+// size and checks that it converges to its target. Deeper per-protocol
+// tests live in the dedicated test files; this is the canary.
+func TestSmokeAllProtocols(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name  string
+		n     int
+		check func(t *testing.T, cfg *core.Config)
+	}{
+		{name: "simple-global-line", n: 10, check: wantActive(func(g *graph.Graph) bool { return g.IsSpanningLine() })},
+		{name: "fast-global-line", n: 14, check: wantActive(func(g *graph.Graph) bool { return g.IsSpanningLine() })},
+		{name: "faster-global-line", n: 14, check: wantActive(func(g *graph.Graph) bool { return g.IsSpanningLine() })},
+		{name: "spanning-net", n: 20, check: wantActive(func(g *graph.Graph) bool { return g.IsSpanning() })},
+		{name: "cycle-cover", n: 16, check: wantActive(func(g *graph.Graph) bool { return g.IsCycleCoverWithWaste(2) })},
+		{name: "global-star", n: 16, check: wantActive(func(g *graph.Graph) bool { return g.IsSpanningStar() })},
+		{name: "global-ring", n: 9, check: wantActive(func(g *graph.Graph) bool { return g.IsSpanningRing() })},
+		{name: "2rc", n: 9, check: wantActive(func(g *graph.Graph) bool { return g.IsSpanningRing() })},
+		{name: "3rc", n: 10, check: wantActive(func(g *graph.Graph) bool { return g.IsNearKRegularConnected(3) })},
+		{name: "3-cliques", n: 9, check: wantActive(func(g *graph.Graph) bool { return g.IsCliquePartition(3) })},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			c, err := Lookup(tc.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Run(c.Proto, tc.n, core.Options{Seed: 1, Detector: c.Detector})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Fatalf("did not converge within %d steps", res.Steps)
+			}
+			tc.check(t, res.Final)
+			if res.ConvergenceTime <= 0 || res.ConvergenceTime > res.Steps {
+				t.Fatalf("implausible convergence time %d (detected at step %d)", res.ConvergenceTime, res.Steps)
+			}
+		})
+	}
+}
+
+func wantActive(pred func(*graph.Graph) bool) func(*testing.T, *core.Config) {
+	return func(t *testing.T, cfg *core.Config) {
+		t.Helper()
+		if g := ActiveGraph(cfg); !pred(g) {
+			t.Fatalf("final active graph %v does not satisfy the target predicate", g)
+		}
+	}
+}

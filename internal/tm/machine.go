@@ -1,0 +1,185 @@
+// Package tm provides the Turing-machine substrate for the paper's
+// universality results (Section 6): a deterministic single-tape TM
+// engine with step and space accounting, a library of concrete
+// machines over adjacency-matrix bit inputs, and space-accounted graph
+// language deciders representing the DGS(·) classes.
+package tm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Move is a head movement.
+type Move int8
+
+// Head movements.
+const (
+	Left  Move = -1
+	Stay  Move = 0
+	Right Move = 1
+)
+
+// Special machine states. User states are non-negative.
+const (
+	Accept = -1
+	Reject = -2
+)
+
+// Blank is the tape blank symbol.
+const Blank byte = 0xFF
+
+// Transition is one δ entry of a deterministic TM.
+type Transition struct {
+	Next  int
+	Write byte
+	Move  Move
+}
+
+// Machine is a deterministic single-tape Turing machine. States are
+// integers in [0, States); Accept/Reject are the halting pseudo-states.
+type Machine struct {
+	Name   string
+	States int
+	Start  int
+	// Delta maps (state, symbol) to a transition. Missing entries
+	// reject.
+	Delta map[Key]Transition
+}
+
+// Key indexes Delta.
+type Key struct {
+	State  int
+	Symbol byte
+}
+
+// Result reports a halted run.
+type Result struct {
+	Accepted bool
+	Steps    int64
+	// Cells is the number of distinct tape cells visited (the space
+	// usage in the DGS sense, input included).
+	Cells int
+}
+
+// ErrStepLimit and ErrSpaceLimit report resource exhaustion.
+var (
+	ErrStepLimit  = errors.New("tm: step limit exceeded")
+	ErrSpaceLimit = errors.New("tm: space limit exceeded")
+)
+
+// Validate checks structural well-formedness.
+func (m *Machine) Validate() error {
+	if m.States <= 0 {
+		return errors.New("tm: machine needs at least one state")
+	}
+	if m.Start < 0 || m.Start >= m.States {
+		return fmt.Errorf("tm: start state %d out of range", m.Start)
+	}
+	for k, t := range m.Delta {
+		if k.State < 0 || k.State >= m.States {
+			return fmt.Errorf("tm: transition from out-of-range state %d", k.State)
+		}
+		if t.Next != Accept && t.Next != Reject && (t.Next < 0 || t.Next >= m.States) {
+			return fmt.Errorf("tm: transition to out-of-range state %d", t.Next)
+		}
+		if t.Move < Left || t.Move > Right {
+			return fmt.Errorf("tm: invalid move %d", t.Move)
+		}
+	}
+	return nil
+}
+
+// Run executes the machine on the input (cell i holds input[i]; all
+// other cells Blank), halting on Accept/Reject or when a resource
+// limit is hit. maxSteps ≤ 0 means 10^8; maxCells ≤ 0 means unlimited.
+func (m *Machine) Run(input []byte, maxSteps int64, maxCells int) (Result, error) {
+	if err := m.Validate(); err != nil {
+		return Result{}, err
+	}
+	if maxSteps <= 0 {
+		maxSteps = 100_000_000
+	}
+	tape := newTape(input)
+	state := m.Start
+	pos := 0
+	var res Result
+	for res.Steps < maxSteps {
+		if state == Accept || state == Reject {
+			res.Accepted = state == Accept
+			res.Cells = tape.cellsVisited()
+			return res, nil
+		}
+		t, ok := m.Delta[Key{State: state, Symbol: tape.read(pos)}]
+		if !ok {
+			res.Accepted = false
+			res.Cells = tape.cellsVisited()
+			return res, nil
+		}
+		tape.write(pos, t.Write)
+		pos += int(t.Move)
+		tape.touch(pos)
+		if maxCells > 0 && tape.cellsVisited() > maxCells {
+			return Result{}, ErrSpaceLimit
+		}
+		state = t.Next
+		res.Steps++
+	}
+	return Result{}, ErrStepLimit
+}
+
+// tape is a bidirectional tape with visit accounting.
+type tape struct {
+	right   []byte // cells 0, 1, 2, …
+	left    []byte // cells −1, −2, …
+	minSeen int
+	maxSeen int
+}
+
+func newTape(input []byte) *tape {
+	t := &tape{right: make([]byte, len(input))}
+	copy(t.right, input)
+	return t
+}
+
+func (t *tape) read(pos int) byte {
+	switch {
+	case pos >= 0:
+		if pos < len(t.right) {
+			return t.right[pos]
+		}
+	default:
+		if i := -pos - 1; i < len(t.left) {
+			return t.left[i]
+		}
+	}
+	return Blank
+}
+
+func (t *tape) write(pos int, b byte) {
+	if pos >= 0 {
+		for pos >= len(t.right) {
+			t.right = append(t.right, Blank)
+		}
+		t.right[pos] = b
+		return
+	}
+	i := -pos - 1
+	for i >= len(t.left) {
+		t.left = append(t.left, Blank)
+	}
+	t.left[i] = b
+}
+
+func (t *tape) touch(pos int) {
+	if pos < t.minSeen {
+		t.minSeen = pos
+	}
+	if pos > t.maxSeen {
+		t.maxSeen = pos
+	}
+}
+
+func (t *tape) cellsVisited() int {
+	return t.maxSeen - t.minSeen + 1
+}

@@ -1,0 +1,104 @@
+package tm
+
+// Concrete hand-built machines over bit-string inputs (the adjacency
+// encodings of Section 6). They cross-validate the Go deciders: for
+// every graph, machine and decider must agree.
+
+// ParityMachine accepts bit strings with an even number of 1s —
+// deciding the graph language "even number of edges" on adjacency
+// encodings. 2 states, O(1) space beyond the input scan.
+func ParityMachine() *Machine {
+	const (
+		even = 0
+		odd  = 1
+	)
+	return &Machine{
+		Name:   "even-parity",
+		States: 2,
+		Start:  even,
+		Delta: map[Key]Transition{
+			{even, 0}:     {Next: even, Write: 0, Move: Right},
+			{even, 1}:     {Next: odd, Write: 1, Move: Right},
+			{odd, 0}:      {Next: odd, Write: 0, Move: Right},
+			{odd, 1}:      {Next: even, Write: 1, Move: Right},
+			{even, Blank}: {Next: Accept, Write: Blank, Move: Stay},
+			{odd, Blank}:  {Next: Reject, Write: Blank, Move: Stay},
+		},
+	}
+}
+
+// ContainsOneMachine accepts bit strings containing at least one 1 —
+// the graph language "has at least one edge".
+func ContainsOneMachine() *Machine {
+	const scan = 0
+	return &Machine{
+		Name:   "contains-one",
+		States: 1,
+		Start:  scan,
+		Delta: map[Key]Transition{
+			{scan, 0}:     {Next: scan, Write: 0, Move: Right},
+			{scan, 1}:     {Next: Accept, Write: 1, Move: Stay},
+			{scan, Blank}: {Next: Reject, Write: Blank, Move: Stay},
+		},
+	}
+}
+
+// AllOnesMachine accepts bit strings of all 1s — the graph language
+// "complete graph" on adjacency encodings.
+func AllOnesMachine() *Machine {
+	const scan = 0
+	return &Machine{
+		Name:   "all-ones",
+		States: 1,
+		Start:  scan,
+		Delta: map[Key]Transition{
+			{scan, 1}:     {Next: scan, Write: 1, Move: Right},
+			{scan, 0}:     {Next: Reject, Write: 0, Move: Stay},
+			{scan, Blank}: {Next: Accept, Write: Blank, Move: Stay},
+		},
+	}
+}
+
+// EqualBlocksMachine accepts strings of the form 0^k 1^k (k ≥ 0) using
+// the classic mark-and-bounce construction — exercising left moves,
+// rewriting, and Θ(n²) time on Θ(n) space. Symbols: 0, 1; marker 2.
+func EqualBlocksMachine() *Machine {
+	const (
+		start     = 0 // at leftmost unmarked cell
+		seekRight = 1 // carrying a marked 0, looking for the last 1
+		atEnd     = 2 // at first blank/marker after the 1-block
+		seekLeft  = 3 // returning to the leftmost unmarked cell
+		verify    = 4 // all cells marked?
+	)
+	return &Machine{
+		Name:   "equal-blocks",
+		States: 5,
+		Start:  start,
+		Delta: map[Key]Transition{
+			// Mark the leading 0 and run right.
+			{start, 0}:     {Next: seekRight, Write: 2, Move: Right},
+			{start, 2}:     {Next: verify, Write: 2, Move: Right},
+			{start, Blank}: {Next: Accept, Write: Blank, Move: Stay},
+			{start, 1}:     {Next: Reject, Write: 1, Move: Stay},
+
+			{seekRight, 0}:     {Next: seekRight, Write: 0, Move: Right},
+			{seekRight, 1}:     {Next: seekRight, Write: 1, Move: Right},
+			{seekRight, 2}:     {Next: atEnd, Write: 2, Move: Left},
+			{seekRight, Blank}: {Next: atEnd, Write: Blank, Move: Left},
+
+			// Mark the trailing 1 and run left.
+			{atEnd, 1}: {Next: seekLeft, Write: 2, Move: Left},
+			{atEnd, 0}: {Next: Reject, Write: 0, Move: Stay},
+			{atEnd, 2}: {Next: Reject, Write: 2, Move: Stay},
+
+			{seekLeft, 0}: {Next: seekLeft, Write: 0, Move: Left},
+			{seekLeft, 1}: {Next: seekLeft, Write: 1, Move: Left},
+			{seekLeft, 2}: {Next: start, Write: 2, Move: Right},
+
+			{verify, 2}:     {Next: verify, Write: 2, Move: Right},
+			{verify, Blank}: {Next: Accept, Write: Blank, Move: Stay},
+			{verify, 0}:     {Next: Reject, Write: 0, Move: Stay},
+			{verify, 1}:     {Next: Reject, Write: 1, Move: Stay},
+		},
+	}
+}

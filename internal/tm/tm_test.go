@@ -1,0 +1,286 @@
+package tm
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func mustRun(t *testing.T, m *Machine, input []byte) Result {
+	t.Helper()
+	res, err := m.Run(input, 0, 0)
+	if err != nil {
+		t.Fatalf("%s on %v: %v", m.Name, input, err)
+	}
+	return res
+}
+
+func TestParityMachine(t *testing.T) {
+	t.Parallel()
+	m := ParityMachine()
+	cases := []struct {
+		input []byte
+		want  bool
+	}{
+		{nil, true},
+		{[]byte{0}, true},
+		{[]byte{1}, false},
+		{[]byte{1, 1}, true},
+		{[]byte{1, 0, 1, 1}, false},
+		{[]byte{1, 1, 0, 0, 1, 1}, true},
+	}
+	for _, tc := range cases {
+		if got := mustRun(t, m, tc.input).Accepted; got != tc.want {
+			t.Fatalf("parity(%v) = %v, want %v", tc.input, got, tc.want)
+		}
+	}
+}
+
+func TestContainsOneMachine(t *testing.T) {
+	t.Parallel()
+	m := ContainsOneMachine()
+	if mustRun(t, m, []byte{0, 0, 0}).Accepted {
+		t.Fatal("all-zero accepted")
+	}
+	if !mustRun(t, m, []byte{0, 0, 1}).Accepted {
+		t.Fatal("bit not found")
+	}
+	if mustRun(t, m, nil).Accepted {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestAllOnesMachine(t *testing.T) {
+	t.Parallel()
+	m := AllOnesMachine()
+	if !mustRun(t, m, []byte{1, 1, 1}).Accepted {
+		t.Fatal("all-ones rejected")
+	}
+	if mustRun(t, m, []byte{1, 0, 1}).Accepted {
+		t.Fatal("zero not caught")
+	}
+	if !mustRun(t, m, nil).Accepted {
+		t.Fatal("empty input rejected (vacuously complete)")
+	}
+}
+
+func TestEqualBlocksMachine(t *testing.T) {
+	t.Parallel()
+	m := EqualBlocksMachine()
+	accept := [][]byte{nil, {0, 1}, {0, 0, 1, 1}, {0, 0, 0, 1, 1, 1}}
+	reject := [][]byte{{0}, {1}, {1, 0}, {0, 0, 1}, {0, 1, 1}, {0, 1, 0, 1}}
+	for _, in := range accept {
+		if !mustRun(t, m, in).Accepted {
+			t.Fatalf("0^k1^k input %v rejected", in)
+		}
+	}
+	for _, in := range reject {
+		if mustRun(t, m, in).Accepted {
+			t.Fatalf("input %v accepted", in)
+		}
+	}
+}
+
+func TestEqualBlocksUsesQuadraticTime(t *testing.T) {
+	t.Parallel()
+	m := EqualBlocksMachine()
+	small := mustRun(t, m, blocks(4))
+	large := mustRun(t, m, blocks(16))
+	if large.Steps < 8*small.Steps {
+		t.Fatalf("expected superlinear time: %d vs %d steps", small.Steps, large.Steps)
+	}
+	if large.Cells < 32 {
+		t.Fatalf("space accounting too small: %d cells", large.Cells)
+	}
+}
+
+func blocks(k int) []byte {
+	in := make([]byte, 2*k)
+	for i := k; i < 2*k; i++ {
+		in[i] = 1
+	}
+	return in
+}
+
+func TestStepLimit(t *testing.T) {
+	t.Parallel()
+	// A deliberate infinite loop.
+	loop := &Machine{
+		Name:   "loop",
+		States: 1,
+		Start:  0,
+		Delta: map[Key]Transition{
+			{0, Blank}: {Next: 0, Write: Blank, Move: Stay},
+		},
+	}
+	_, err := loop.Run(nil, 100, 0)
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("got %v, want ErrStepLimit", err)
+	}
+}
+
+func TestSpaceLimit(t *testing.T) {
+	t.Parallel()
+	runner := &Machine{
+		Name:   "runner",
+		States: 1,
+		Start:  0,
+		Delta: map[Key]Transition{
+			{0, Blank}: {Next: 0, Write: 1, Move: Right},
+		},
+	}
+	_, err := runner.Run(nil, 0, 10)
+	if !errors.Is(err, ErrSpaceLimit) {
+		t.Fatalf("got %v, want ErrSpaceLimit", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	t.Parallel()
+	bad := []Machine{
+		{Name: "no states", States: 0},
+		{Name: "bad start", States: 2, Start: 5},
+		{Name: "bad source", States: 1, Delta: map[Key]Transition{{7, 0}: {Next: 0}}},
+		{Name: "bad target", States: 1, Delta: map[Key]Transition{{0, 0}: {Next: 9}}},
+		{Name: "bad move", States: 1, Delta: map[Key]Transition{{0, 0}: {Next: 0, Move: 3}}},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Fatalf("machine %q validated", bad[i].Name)
+		}
+	}
+	if err := ParityMachine().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissingTransitionRejects(t *testing.T) {
+	t.Parallel()
+	m := &Machine{
+		Name:   "partial",
+		States: 1,
+		Start:  0,
+		Delta:  map[Key]Transition{{0, 0}: {Next: Accept}},
+	}
+	res, err := m.Run([]byte{1}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted {
+		t.Fatal("missing transition accepted")
+	}
+}
+
+func TestTapeLeftExtension(t *testing.T) {
+	t.Parallel()
+	// Write at 0, step into negative tape, write there, and read the
+	// original cell back — exercising the left extension.
+	m := &Machine{
+		Name:   "left-walker",
+		States: 2,
+		Start:  0,
+		Delta: map[Key]Transition{
+			{0, Blank}: {Next: 1, Write: 1, Move: Left},
+			{1, Blank}: {Next: 1, Write: 1, Move: Right},
+			{1, 1}:     {Next: Accept, Write: 1, Move: Stay},
+		},
+	}
+	res, err := m.Run(nil, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Fatal("left-walker rejected")
+	}
+	if res.Cells < 2 {
+		t.Fatalf("space accounting missed the left cell: %d", res.Cells)
+	}
+}
+
+// TestMachinesAgreeWithDeciders is the cross-validation property: on
+// random graphs, each hand-built TM decides exactly the same language
+// as its Go decider over adjacency encodings.
+func TestMachinesAgreeWithDeciders(t *testing.T) {
+	t.Parallel()
+	pairs := []struct {
+		machine *Machine
+		lang    GraphLanguage
+	}{
+		{ParityMachine(), EvenEdges()},
+		{ContainsOneMachine(), HasEdge()},
+		{AllOnesMachine(), CompleteGraph()},
+	}
+	for _, pair := range pairs {
+		pair := pair
+		t.Run(pair.machine.Name, func(t *testing.T) {
+			t.Parallel()
+			f := func(seed uint64) bool {
+				rng := rand.New(rand.NewPCG(seed, 3))
+				g := graph.Gnp(2+int(seed%10), 0.5, rng)
+				res, err := pair.machine.Run(g.EncodeAdjacency(), 0, 0)
+				if err != nil {
+					return false
+				}
+				return res.Accepted == pair.lang.Decide(g)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestGraphLanguages(t *testing.T) {
+	t.Parallel()
+	if !Connected().Decide(graph.Ring(5)) || Connected().Decide(graph.New(3)) {
+		t.Fatal("connected decider wrong")
+	}
+	if !TriangleFree().Decide(graph.Ring(4)) || TriangleFree().Decide(graph.Complete(3)) {
+		t.Fatal("triangle-free decider wrong")
+	}
+	if !MaxDegreeAtMost(2).Decide(graph.Ring(6)) || MaxDegreeAtMost(2).Decide(graph.Star(5)) {
+		t.Fatal("degree decider wrong")
+	}
+	if !SpanningLineGraphs().Decide(graph.Line(4)) || SpanningLineGraphs().Decide(graph.Ring(4)) {
+		t.Fatal("spanning-line decider wrong")
+	}
+}
+
+func TestHamiltonianPath(t *testing.T) {
+	t.Parallel()
+	h := HamiltonianPath()
+	if !h.Decide(graph.Line(6)) || !h.Decide(graph.Ring(6)) || !h.Decide(graph.Complete(5)) {
+		t.Fatal("hamiltonian graphs rejected")
+	}
+	if !h.Decide(graph.New(1)) || !h.Decide(graph.New(0)) {
+		t.Fatal("trivial graphs rejected")
+	}
+	if h.Decide(graph.Star(5)) {
+		t.Fatal("star of 5 accepted (no hamiltonian path)")
+	}
+	if h.Decide(graph.New(3)) {
+		t.Fatal("edgeless graph accepted")
+	}
+}
+
+func TestSpaceClassString(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct {
+		class SpaceClass
+		want  string
+	}{
+		{LogSpace, "DGS(O(log n))"},
+		{LinearSpace, "DGS(O(n))"},
+		{QuadraticSpace, "DGS(O(n²))"},
+	} {
+		if got := tc.class.String(); got != tc.want {
+			t.Fatalf("String() = %q, want %q", got, tc.want)
+		}
+	}
+	if SpaceClass(42).String() == "" {
+		t.Fatal("unknown class renders empty")
+	}
+}

@@ -1,0 +1,79 @@
+package universal
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// chargeModel accounts the global interactions a phase consumes when
+// only one specific pair (out of the n(n−1)/2 the uniform random
+// scheduler draws from) makes progress: each elementary operation
+// costs a geometrically distributed number of steps with success
+// probability 2/(n(n−1)). This is exactly the waiting time the paper's
+// analyses charge for "the scheduler must pick this particular
+// interaction".
+type chargeModel struct {
+	rng   *core.RNG
+	pairs float64 // n(n−1)/2
+	steps int64
+}
+
+func newChargeModel(n int, rng *core.RNG) *chargeModel {
+	return &chargeModel{rng: rng, pairs: float64(n) * float64(n-1) / 2}
+}
+
+// Steps returns the global interactions charged so far.
+func (c *chargeModel) Steps() int64 { return c.steps }
+
+// waitPair charges one specific-pair wait and returns its sampled
+// duration.
+func (c *chargeModel) waitPair() int64 {
+	// Geometric sampling via inversion: k = ⌈ln(U)/ln(1−p)⌉ for
+	// U ∈ (0,1), p = 1/pairs.
+	p := 1 / c.pairs
+	u := c.rng.Float64()
+	for u == 0 {
+		u = c.rng.Float64()
+	}
+	k := int64(math.Ceil(math.Log(u) / math.Log(1-p)))
+	if k < 1 {
+		k = 1
+	}
+	c.steps += k
+	return k
+}
+
+// waitAny charges a wait for any one of m equally useful pairs.
+func (c *chargeModel) waitAny(m int) int64 {
+	if m <= 0 {
+		return c.waitPair()
+	}
+	p := float64(m) / c.pairs
+	if p >= 1 {
+		c.steps++
+		return 1
+	}
+	u := c.rng.Float64()
+	for u == 0 {
+		u = c.rng.Float64()
+	}
+	k := int64(math.Ceil(math.Log(u) / math.Log(1-p)))
+	if k < 1 {
+		k = 1
+	}
+	c.steps += k
+	return k
+}
+
+// walk charges a mark traveling dist sequential hops along the line
+// (each hop is one specific-pair interaction).
+func (c *chargeModel) walk(dist int) {
+	for i := 0; i < dist; i++ {
+		c.waitPair()
+	}
+}
+
+// coin flips the PREL fair coin (free: it happens within an already
+// charged interaction).
+func (c *chargeModel) coin() bool { return c.rng.Coin() }

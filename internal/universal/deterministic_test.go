@@ -1,0 +1,73 @@
+package universal
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestDeterministicConstructRing(t *testing.T) {
+	t.Parallel()
+	res, err := DeterministicConstruct(RingBuilder(), 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Output.IsSpanningRing() {
+		t.Fatalf("output %v is not a ring", res.Output)
+	}
+	if res.Output.N() != 8 || res.Waste != 8 {
+		t.Fatalf("useful %d waste %d", res.Output.N(), res.Waste)
+	}
+	if res.Attempts != 1 {
+		t.Fatalf("deterministic construction retried %d times", res.Attempts)
+	}
+}
+
+func TestDeterministicConstructClique(t *testing.T) {
+	t.Parallel()
+	res, err := DeterministicConstruct(CliqueBuilder(), 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := res.Output.N()
+	if res.Output.M() != k*(k-1)/2 {
+		t.Fatalf("output %v is not complete", res.Output)
+	}
+}
+
+// TestDeterministicConstructPetersen reproduces the conclusions'
+// example: a non-uniform NET that, on the right population size,
+// stabilizes to the Petersen graph.
+func TestDeterministicConstructPetersen(t *testing.T) {
+	t.Parallel()
+	res, err := DeterministicConstruct(PetersenBuilder(), 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Output
+	if got.N() != 10 || got.M() != 15 || !got.IsKRegularConnected(3) {
+		t.Fatalf("output %v is not 3-regular on 10 nodes", got)
+	}
+	if !got.IsTriangleFree() {
+		t.Fatal("Petersen graph contains no triangles")
+	}
+	want := PetersenBuilder()(10)
+	if !graph.Isomorphic(got, want) {
+		t.Fatalf("output %v not isomorphic to the Petersen graph", got)
+	}
+}
+
+func TestDeterministicConstructNoTarget(t *testing.T) {
+	t.Parallel()
+	// Petersen needs exactly 10 useful nodes; n=16 gives 8.
+	if _, err := DeterministicConstruct(PetersenBuilder(), 16, 1); err == nil {
+		t.Fatal("missing target size accepted")
+	}
+	bad := func(k int) *graph.Graph { return graph.New(k + 1) }
+	if _, err := DeterministicConstruct(bad, 12, 1); err == nil {
+		t.Fatal("wrong-order builder accepted")
+	}
+	if _, err := DeterministicConstruct(RingBuilder(), 4, 1); err == nil {
+		t.Fatal("tiny population accepted")
+	}
+}

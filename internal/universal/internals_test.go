@@ -1,0 +1,286 @@
+package universal
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/protocols"
+	"repro/internal/tm"
+)
+
+func TestChargeModelWaitPairMean(t *testing.T) {
+	t.Parallel()
+	const n = 20
+	charge := newChargeModel(n, core.NewRNG(1))
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		charge.waitPair()
+	}
+	mean := float64(charge.Steps()) / draws
+	want := float64(n * (n - 1) / 2) // geometric mean 1/p
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("waitPair mean %f, want ≈ %f", mean, want)
+	}
+}
+
+func TestChargeModelWaitAny(t *testing.T) {
+	t.Parallel()
+	const n = 20
+	charge := newChargeModel(n, core.NewRNG(2))
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		charge.waitAny(10)
+	}
+	mean := float64(charge.Steps()) / draws
+	want := float64(n*(n-1)/2) / 10
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("waitAny(10) mean %f, want ≈ %f", mean, want)
+	}
+	// Saturated probability costs exactly one step per wait.
+	sat := newChargeModel(4, core.NewRNG(3))
+	sat.waitAny(100)
+	if sat.Steps() != 1 {
+		t.Fatalf("saturated waitAny charged %d", sat.Steps())
+	}
+	// Non-positive m falls back to a single-pair wait.
+	fb := newChargeModel(6, core.NewRNG(4))
+	fb.waitAny(0)
+	if fb.Steps() < 1 {
+		t.Fatal("fallback waitAny charged nothing")
+	}
+}
+
+func TestChargeModelWalk(t *testing.T) {
+	t.Parallel()
+	charge := newChargeModel(10, core.NewRNG(5))
+	charge.walk(7)
+	if charge.Steps() < 7 {
+		t.Fatalf("walk(7) charged %d < 7", charge.Steps())
+	}
+}
+
+func TestDrawRandomGraphIsHalfDense(t *testing.T) {
+	t.Parallel()
+	charge := newChargeModel(30, core.NewRNG(6))
+	const k, trials = 12, 40
+	edges := 0
+	for i := 0; i < trials; i++ {
+		edges += drawRandomGraph(charge, k).M()
+	}
+	mean := float64(edges) / trials
+	want := 0.5 * float64(k*(k-1)/2)
+	if math.Abs(mean-want)/want > 0.15 {
+		t.Fatalf("G(k,1/2) density %f, want ≈ %f", mean, want)
+	}
+	if charge.Steps() == 0 {
+		t.Fatal("drawing charged nothing")
+	}
+}
+
+func TestLineTMRunsRealMachine(t *testing.T) {
+	t.Parallel()
+	charge := newChargeModel(16, core.NewRNG(7))
+	ltm := newLineTM(charge, 8)
+	accepted, err := ltm.run(tm.ParityMachine(), []byte{1, 0, 1}, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !accepted {
+		t.Fatal("parity of two 1s rejected")
+	}
+	if charge.Steps() == 0 {
+		t.Fatal("line TM charged no interactions")
+	}
+	rejected, err := ltm.run(tm.ParityMachine(), []byte{1}, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rejected {
+		t.Fatal("odd parity accepted")
+	}
+}
+
+func TestLineTMOutOfTape(t *testing.T) {
+	t.Parallel()
+	charge := newChargeModel(16, core.NewRNG(8))
+	ltm := newLineTM(charge, 3)
+	if _, err := ltm.run(tm.ParityMachine(), []byte{1, 0, 1, 1}, 1000); err == nil {
+		t.Fatal("oversized input accepted")
+	}
+	// A runaway machine must hit the right end of the line.
+	runner := &tm.Machine{
+		Name:   "right-runner",
+		States: 1,
+		Start:  0,
+		Delta: map[tm.Key]tm.Transition{
+			{State: 0, Symbol: tm.Blank}: {Next: 0, Write: 1, Move: tm.Right},
+			{State: 0, Symbol: 1}:        {Next: 0, Write: 1, Move: tm.Right},
+		},
+	}
+	var oot *outOfTapeError
+	_, err := ltm.run(runner, nil, 1000)
+	if !errors.As(err, &oot) {
+		t.Fatalf("got %v, want outOfTapeError", err)
+	}
+}
+
+func TestLineOrder(t *testing.T) {
+	t.Parallel()
+	order, err := lineOrder(graph.Line(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 6 {
+		t.Fatalf("order %v", order)
+	}
+	for i := 0; i+1 < len(order); i++ {
+		if d := order[i] - order[i+1]; d != 1 && d != -1 {
+			t.Fatalf("order %v is not a path walk", order)
+		}
+	}
+	if _, err := lineOrder(graph.Ring(5)); err == nil {
+		t.Fatal("ring accepted as line")
+	}
+	single, err := lineOrder(graph.New(1))
+	if err != nil || len(single) != 1 {
+		t.Fatalf("singleton order %v, %v", single, err)
+	}
+}
+
+func TestWithDead(t *testing.T) {
+	t.Parallel()
+	base := protocols.SimpleGlobalLine()
+	ext, dead, err := withDead(base.Proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Size() != base.Proto.Size()+1 {
+		t.Fatalf("extended size %d", ext.Size())
+	}
+	if name := ext.StateName(dead); name != "dead" {
+		t.Fatalf("dead state named %q", name)
+	}
+	// Dead nodes must never react.
+	for s := 0; s < ext.Size(); s++ {
+		for _, e := range []bool{false, true} {
+			if ext.EffectiveOn(dead, core.State(s), e) {
+				t.Fatalf("dead state reacts with %s", ext.StateName(core.State(s)))
+			}
+		}
+	}
+}
+
+func TestLinePhaseBuildsOrderedLine(t *testing.T) {
+	t.Parallel()
+	live := []int{1, 3, 5, 7, 9, 11}
+	_, ordered, res, err := linePhase(protocols.SimpleGlobalLine(), 12, live, nil, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("line phase did not converge")
+	}
+	if len(ordered) != len(live) {
+		t.Fatalf("ordered %v", ordered)
+	}
+	seen := make(map[int]bool, len(ordered))
+	for _, u := range ordered {
+		if u%2 == 0 {
+			t.Fatalf("dead node %d in the line", u)
+		}
+		if seen[u] {
+			t.Fatalf("duplicate node %d", u)
+		}
+		seen[u] = true
+	}
+}
+
+func TestSupernodesTooSmall(t *testing.T) {
+	t.Parallel()
+	if _, err := Supernodes(7, 1); err == nil {
+		t.Fatal("n=7 accepted")
+	}
+}
+
+func TestPipelineTooSmall(t *testing.T) {
+	t.Parallel()
+	if _, err := LinearWasteHalf(tm.Connected(), 4, 1); err == nil {
+		t.Fatal("tiny population accepted")
+	}
+	if _, err := LinearWasteThird(tm.EvenEdges(), 6, 1); err == nil {
+		t.Fatal("tiny population accepted")
+	}
+	if _, err := LogWaste(tm.HasEdge(), 4, 1); err == nil {
+		t.Fatal("tiny population accepted")
+	}
+}
+
+// TestPipelinePhaseAccounting: phase steps must sum to the total.
+func TestPipelinePhaseAccounting(t *testing.T) {
+	t.Parallel()
+	res, err := LinearWasteHalf(tm.EvenEdges(), 14, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, ph := range res.PhaseSteps {
+		if ph.Steps < 0 {
+			t.Fatalf("negative phase steps: %+v", ph)
+		}
+		sum += ph.Steps
+	}
+	if sum != res.Steps {
+		t.Fatalf("phase steps sum %d ≠ total %d", sum, res.Steps)
+	}
+}
+
+// TestUniversalDeterminism: identical seeds give identical pipelines.
+func TestUniversalDeterminism(t *testing.T) {
+	t.Parallel()
+	a, err := LinearWasteHalf(tm.Connected(), 14, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LinearWasteHalf(tm.Connected(), 14, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Steps != b.Steps || a.Attempts != b.Attempts || !a.Output.Equal(b.Output) {
+		t.Fatal("identical seeds produced different pipelines")
+	}
+}
+
+// TestRetryLoopRejects: a language that rejects the first draws forces
+// Attempts > 1 with non-vanishing probability; use "complete graph",
+// which G(k,1/2) essentially never satisfies — bounded by maxAttempts,
+// so use a small k where acceptance is merely rare-ish and seeds are
+// chosen to show at least one retry.
+func TestRetryLoopRejects(t *testing.T) {
+	t.Parallel()
+	// Odd-edge graphs have probability 1/2 under G(k,1/2): expect ≈2
+	// attempts on average; find a seed with ≥ 2 attempts quickly.
+	odd := tm.GraphLanguage{
+		Name:   "odd-edges",
+		Space:  tm.LogSpace,
+		Decide: func(g *graph.Graph) bool { return g.M()%2 == 1 },
+	}
+	sawRetry := false
+	for seed := uint64(1); seed <= 10 && !sawRetry; seed++ {
+		res, err := LinearWasteHalf(odd, 12, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Output.M()%2 != 1 {
+			t.Fatalf("output %v has even edges", res.Output)
+		}
+		if res.Attempts > 1 {
+			sawRetry = true
+		}
+	}
+	if !sawRetry {
+		t.Fatal("no retry observed across 10 seeds (p < 1e-3)")
+	}
+}

@@ -1,0 +1,128 @@
+package universal
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/tm"
+)
+
+// lineTM executes a real Turing machine on a line of k population
+// nodes, charging every head movement the interaction cost the paper's
+// construction pays: the head carries l/r/t direction marks and only
+// advances when the scheduler delivers the head-neighbor pair
+// (Fig. 5). The work tape is the line's k cells; the input is accessed
+// through an external read function (the counter-addressed D-edge
+// probes of Fig. 6), each access charged by the caller.
+type lineTM struct {
+	charge *chargeModel
+	cells  []byte
+}
+
+func newLineTM(charge *chargeModel, k int) *lineTM {
+	cells := make([]byte, k)
+	for i := range cells {
+		cells[i] = tm.Blank
+	}
+	return &lineTM{charge: charge, cells: cells}
+}
+
+// errOutOfTape reports that a machine exceeded the line's capacity —
+// the space budget of the DGS(·) class being instantiated.
+type outOfTapeError struct {
+	Machine string
+	Cells   int
+}
+
+func (e *outOfTapeError) Error() string {
+	return fmt.Sprintf("universal: machine %q exceeded the line's %d cells", e.Machine, e.Cells)
+}
+
+// run executes m with the given input written on the leftmost cells
+// (input must fit the line). The initial head positioning pass — the
+// t-mark walk of Fig. 5 that gives the head its sense of direction —
+// is charged as one traversal of the line.
+func (l *lineTM) run(m *tm.Machine, input []byte, maxSteps int64) (bool, error) {
+	if len(input) > len(l.cells) {
+		return false, &outOfTapeError{Machine: m.Name, Cells: len(l.cells)}
+	}
+	if err := m.Validate(); err != nil {
+		return false, err
+	}
+	copy(l.cells, input)
+	for i := len(input); i < len(l.cells); i++ {
+		l.cells[i] = tm.Blank
+	}
+	// Initialization pass: the head walks to the right endpoint and
+	// back, installing the l/r marks.
+	l.charge.walk(2 * len(l.cells))
+
+	state := m.Start
+	pos := 0
+	var steps int64
+	for steps < maxSteps {
+		if state == tm.Accept {
+			return true, nil
+		}
+		if state == tm.Reject {
+			return false, nil
+		}
+		t, ok := m.Delta[tm.Key{State: state, Symbol: l.cells[pos]}]
+		if !ok {
+			return false, nil
+		}
+		l.cells[pos] = t.Write
+		next := pos + int(t.Move)
+		if next < 0 || next >= len(l.cells) {
+			return false, &outOfTapeError{Machine: m.Name, Cells: len(l.cells)}
+		}
+		if next != pos {
+			// The head moves only when the scheduler picks the
+			// head–neighbor pair.
+			l.charge.waitPair()
+			pos = next
+		}
+		state = t.Next
+		steps++
+	}
+	return false, tm.ErrStepLimit
+}
+
+// drawRandomGraph performs the Fig. 6 experiment on k addressable
+// nodes: for every pair (i, j), a counter on the line marks node i
+// (walking i hops) and node j (walking j hops), the pair's own
+// interaction flips the PREL coin to set the edge, and the marks are
+// retracted. The result is a uniformly random graph in G(k, 1/2).
+func drawRandomGraph(charge *chargeModel, k int) *graph.Graph {
+	g := graph.New(k)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			// Mark i and j (walk out), one interaction to flip the
+			// coin on the pair, then unmark (walk back).
+			charge.walk(i + 1)
+			charge.walk(j + 1)
+			charge.waitPair()
+			if charge.coin() {
+				g.AddEdge(i, j)
+			}
+			charge.walk(i + 1)
+			charge.walk(j + 1)
+		}
+	}
+	return g
+}
+
+// scanInput charges one full pass over the adjacency encoding of a
+// k-node graph via counter-addressed probes — the cost of feeding the
+// input to the simulated decider.
+func scanInput(charge *chargeModel, k int) {
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			charge.walk(i + 1)
+			charge.walk(j + 1)
+			charge.waitPair()
+			charge.walk(i + 1)
+			charge.walk(j + 1)
+		}
+	}
+}

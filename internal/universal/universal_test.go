@@ -1,0 +1,170 @@
+package universal
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/tm"
+)
+
+func TestPartitionUD(t *testing.T) {
+	t.Parallel()
+	p, det := PartitionUD()
+	for _, n := range []int{6, 11, 20} {
+		res, err := core.Run(p, n, core.Options{Seed: 7, Detector: det})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("n=%d: did not converge", n)
+		}
+		part := classify(res.Final)
+		if len(part.u) != n/2 || len(part.d) != n/2 {
+			t.Fatalf("n=%d: |U|=%d |D|=%d, want %d each", n, len(part.u), len(part.d), n/2)
+		}
+		if _, err := matchedD(res.Final, part); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestPartitionUDM(t *testing.T) {
+	t.Parallel()
+	p, det := PartitionUDM()
+	for _, n := range []int{9, 12, 22} {
+		res, err := core.Run(p, n, core.Options{Seed: 3, Detector: det})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("n=%d: did not converge", n)
+		}
+		part := classify(res.Final)
+		want := n / 3
+		if len(part.u) != want || len(part.d) != want || len(part.m) != want {
+			t.Fatalf("n=%d: |U|=%d |D|=%d |M|=%d, want %d each",
+				n, len(part.u), len(part.d), len(part.m), want)
+		}
+		// Every U node has exactly one D and one M active neighbor.
+		for _, u := range part.u {
+			dCount, mCount := 0, 0
+			for _, d := range part.d {
+				if res.Final.Edge(u, d) {
+					dCount++
+				}
+			}
+			for _, m := range part.m {
+				if res.Final.Edge(u, m) {
+					mCount++
+				}
+			}
+			if dCount != 1 || mCount != 1 {
+				t.Fatalf("n=%d: U node %d has %d D and %d M neighbors", n, u, dCount, mCount)
+			}
+		}
+	}
+}
+
+func TestLinearWasteHalf(t *testing.T) {
+	t.Parallel()
+	res, err := LinearWasteHalf(tm.Connected(), 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output.N() != 8 {
+		t.Fatalf("useful space %d, want 8", res.Output.N())
+	}
+	if !res.Output.Connected() {
+		t.Fatalf("output %v not connected", res.Output)
+	}
+	if res.Waste != 8 {
+		t.Fatalf("waste %d, want 8", res.Waste)
+	}
+	if res.Attempts < 1 {
+		t.Fatalf("attempts %d", res.Attempts)
+	}
+	if res.Steps <= 0 {
+		t.Fatal("no steps charged")
+	}
+}
+
+func TestLinearWasteThird(t *testing.T) {
+	t.Parallel()
+	res, err := LinearWasteThird(tm.EvenEdges(), 18, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output.N() != 6 {
+		t.Fatalf("useful space %d, want 6", res.Output.N())
+	}
+	if res.Output.M()%2 != 0 {
+		t.Fatalf("output has odd edge count %d", res.Output.M())
+	}
+	if res.Waste != 12 {
+		t.Fatalf("waste %d, want 12", res.Waste)
+	}
+}
+
+func TestLogWaste(t *testing.T) {
+	t.Parallel()
+	res, err := LogWaste(tm.HasEdge(), 24, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output.M() == 0 {
+		t.Fatal("output has no edge")
+	}
+	wantUseful := 24 - 5 // ⌈log₂ 24⌉ = 5
+	if res.Output.N() != wantUseful {
+		t.Fatalf("useful space %d, want %d", res.Output.N(), wantUseful)
+	}
+}
+
+func TestSpaceBudgets(t *testing.T) {
+	t.Parallel()
+	if _, err := LogWaste(tm.HamiltonianPath(), 24, 1); err == nil {
+		t.Fatal("log-waste accepted a linear-space language")
+	}
+	quadratic := tm.GraphLanguage{
+		Name:   "needs-quadratic-space",
+		Space:  tm.QuadraticSpace,
+		Decide: func(g *graph.Graph) bool { return true },
+	}
+	if _, err := LinearWasteHalf(quadratic, 16, 1); err == nil {
+		t.Fatal("half-waste accepted a quadratic-space language")
+	}
+	if _, err := LinearWasteThird(quadratic, 18, 1); err != nil {
+		t.Fatalf("third-waste rejected a quadratic-space language: %v", err)
+	}
+}
+
+func TestSupernodes(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{8, 24, 64, 100} {
+		res, err := Supernodes(n, 9)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.K*res.LineLen > n {
+			t.Fatalf("n=%d: K=%d × len=%d exceeds population", n, res.K, res.LineLen)
+		}
+		if res.K&(res.K-1) != 0 {
+			t.Fatalf("n=%d: K=%d not a power of two", n, res.K)
+		}
+		// Names are unique and fit the per-line memory.
+		seen := make(map[int]bool, res.K)
+		for _, name := range res.Names {
+			if seen[name] {
+				t.Fatalf("n=%d: duplicate name %d", n, name)
+			}
+			seen[name] = true
+			if name >= 1<<res.LineLen {
+				t.Fatalf("n=%d: name %d does not fit %d bits", n, name, res.LineLen)
+			}
+		}
+		if want := res.K / 3; res.Triangles != want {
+			t.Fatalf("n=%d: %d triangles, want %d", n, res.Triangles, want)
+		}
+	}
+}

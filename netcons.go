@@ -1,0 +1,21 @@
+// Package netcons is a Go reproduction of "Simple and Efficient Local
+// Codes for Distributed Stable Network Construction" (Michail &
+// Spirakis, PODC 2014 / Distributed Computing).
+//
+// The implementation lives in the internal packages:
+//
+//	internal/core        the Network Constructor model and engines
+//	internal/protocols   every direct constructor (Tables 2 rows)
+//	internal/processes   the fundamental probabilistic processes (Table 1)
+//	internal/graph       graph substrate: predicates, isomorphism, G(n,p)
+//	internal/check       exhaustive model checker for small populations
+//	internal/tm          Turing-machine substrate for Section 6
+//	internal/universal   the generic constructors (Theorems 14–18)
+//	internal/experiments sweeps shared by cmd/tables and the benchmarks
+//
+// See README.md for a tour and EXPERIMENTS.md for paper-vs-measured
+// results. The benchmark harness in bench_test.go regenerates every
+// table row:
+//
+//	go test -bench=. -benchmem
+package netcons
