@@ -1,0 +1,217 @@
+// Command campaign runs a declarative measurement campaign — a grid of
+// (protocol, population size, scheduler) points swept over a seed range
+// — on a worker pool and writes aggregated series (and optionally raw
+// runs) as JSON or CSV.
+//
+// The grid comes either from a JSON spec file (see internal/campaign's
+// Spec, documented in EXPERIMENTS.md) or from flags describing a
+// single-item spec:
+//
+//	campaign -spec sweep.json -workers 8 -format csv -out results.csv
+//	campaign -name cycle-cover -sizes 32,64,128 -trials 20 -seed 1
+//	campaign -name One-Way-Epidemic -kind process -sizes 64,128
+//	campaign -list
+//
+// Aggregates are bit-identical for a fixed spec regardless of -workers.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/processes"
+	"repro/internal/protocols"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		specPath = flag.String("spec", "", "JSON campaign spec file (\"-\" for stdin); overrides the single-item flags")
+		name     = flag.String("name", "", "protocol or process name for a single-item campaign (see -list)")
+		kind     = flag.String("kind", "protocol", "item kind: protocol, process, or replication")
+		sizes    = flag.String("sizes", "16,32,64", "comma-separated population sizes")
+		trials   = flag.Int("trials", 10, "trials per grid point")
+		seed     = flag.Uint64("seed", 1, "base RNG seed")
+		sched    = flag.String("schedulers", "uniform", "comma-separated scheduler names")
+		metric   = flag.String("metric", "", "measured quantity (default: convergence-time for protocols, steps for processes)")
+		maxSteps = flag.Int64("max-steps", 0, "per-run step budget (0 = per-n default)")
+		workers  = flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 0, "per-run wall-clock cap (0 = none)")
+		out      = flag.String("out", "", "aggregate output path (default stdout)")
+		runsOut  = flag.String("runs-out", "", "also write raw per-run records to this path")
+		format   = flag.String("format", "json", "output format: json or csv")
+		progress = flag.Bool("progress", false, "log each completed run to stderr")
+		list     = flag.Bool("list", false, "list known protocols and processes, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("protocols (kind \"protocol\"):")
+		for _, n := range protocols.Names() {
+			fmt.Printf("  %s\n", n)
+		}
+		fmt.Println("processes (kind \"process\"):")
+		for _, n := range processes.Names() {
+			fmt.Printf("  %s\n", n)
+		}
+		fmt.Println("kind \"replication\": Graph-Replication of a ring on ⌊n/2⌋ nodes")
+		return nil
+	}
+	if *format != "json" && *format != "csv" {
+		return fmt.Errorf("unknown format %q (known: json, csv)", *format)
+	}
+
+	spec, err := loadSpec(*specPath, *name, *kind, *sizes, *trials, *seed, *sched, *metric, *maxSteps)
+	if err != nil {
+		return err
+	}
+	points, err := spec.Compile()
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := campaign.Options{
+		Workers:  *workers,
+		Timeout:  *timeout,
+		KeepRuns: *runsOut != "",
+	}
+	total := 0
+	for _, pt := range points {
+		total += pt.Trials
+	}
+	if *progress {
+		done := 0
+		opts.OnRun = func(rec campaign.RunRecord) {
+			done++
+			status := "converged"
+			switch {
+			case rec.Err != "":
+				status = "error: " + rec.Err
+			case rec.Stopped:
+				status = "stopped"
+			case !rec.Converged:
+				status = "budget exhausted"
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s n=%d %s trial=%d seed=%d: %s (%.0f in %s)\n",
+				done, total, rec.Protocol, rec.N, rec.Scheduler, rec.Trial, rec.Seed,
+				status, rec.Value, time.Duration(rec.DurationNS))
+		}
+	}
+
+	result, err := campaign.Execute(ctx, points, opts)
+	if err != nil {
+		return err
+	}
+	if *progress {
+		fmt.Fprintf(os.Stderr, "campaign: %d runs over %d points on %d workers in %s\n",
+			total, len(points), result.Workers, result.Elapsed.Round(time.Millisecond))
+	}
+
+	if err := writeOutput(*out, *format, result.Aggregates, nil); err != nil {
+		return err
+	}
+	if *runsOut != "" {
+		if err := writeOutput(*runsOut, *format, nil, result.Runs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadSpec reads the spec file or assembles a single-item spec from
+// flags.
+func loadSpec(specPath, name, kind, sizes string, trials int, seed uint64, sched, metric string, maxSteps int64) (campaign.Spec, error) {
+	if specPath != "" {
+		var r io.Reader = os.Stdin
+		if specPath != "-" {
+			f, err := os.Open(specPath)
+			if err != nil {
+				return campaign.Spec{}, err
+			}
+			defer f.Close()
+			r = f
+		}
+		return campaign.ParseSpec(r)
+	}
+	if name == "" && kind != "replication" {
+		return campaign.Spec{}, fmt.Errorf("either -spec or -name is required (or -list)")
+	}
+	ns, err := parseSizes(sizes)
+	if err != nil {
+		return campaign.Spec{}, err
+	}
+	return campaign.Spec{
+		Items:      []campaign.Item{{Name: name, Kind: kind, Sizes: ns}},
+		Trials:     trials,
+		Seed:       seed,
+		Schedulers: splitList(sched),
+		Metric:     metric,
+		MaxSteps:   maxSteps,
+	}, nil
+}
+
+func parseSizes(s string) ([]int, error) {
+	var ns []int
+	for _, field := range splitList(s) {
+		n, err := strconv.Atoi(field)
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q: %w", field, err)
+		}
+		ns = append(ns, n)
+	}
+	if len(ns) == 0 {
+		return nil, fmt.Errorf("no sizes given")
+	}
+	return ns, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, field := range strings.Split(s, ",") {
+		if field = strings.TrimSpace(field); field != "" {
+			out = append(out, field)
+		}
+	}
+	return out
+}
+
+// writeOutput writes either aggregates or raw runs (exactly one is
+// non-nil) to path, stdout when empty.
+func writeOutput(path, format string, aggs []campaign.Aggregate, runs []campaign.RunRecord) error {
+	w := io.Writer(os.Stdout)
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch {
+	case aggs != nil && format == "json":
+		return campaign.WriteAggregatesJSON(w, aggs)
+	case aggs != nil:
+		return campaign.WriteAggregatesCSV(w, aggs)
+	case format == "json":
+		return campaign.WriteRunsJSON(w, runs)
+	default:
+		return campaign.WriteRunsCSV(w, runs)
+	}
+}

@@ -1,21 +1,24 @@
 // Command netsim runs any registered network constructor on a
 // population and reports convergence statistics (and optionally the
-// final network as DOT).
+// final network as DOT). Trials execute concurrently on the campaign
+// worker pool; the reported statistics are identical for any -workers
+// value.
 //
 // Usage:
 //
-//	netsim -protocol global-star -n 50 -trials 5 -seed 1 [-dot]
+//	netsim -protocol global-star -n 50 -trials 5 -seed 1 [-workers 4] [-dot]
 //	netsim -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/protocols"
-	"repro/internal/stats"
 )
 
 func main() {
@@ -27,12 +30,13 @@ func main() {
 
 func run() error {
 	var (
-		name   = flag.String("protocol", "global-star", "protocol name (see -list)")
-		n      = flag.Int("n", 50, "population size")
-		trials = flag.Int("trials", 3, "independent runs")
-		seed   = flag.Uint64("seed", 1, "base RNG seed")
-		dot    = flag.Bool("dot", false, "print the final network as Graphviz DOT")
-		list   = flag.Bool("list", false, "list registered protocols and exit")
+		name    = flag.String("protocol", "global-star", "protocol name (see -list)")
+		n       = flag.Int("n", 50, "population size")
+		trials  = flag.Int("trials", 3, "independent runs")
+		seed    = flag.Uint64("seed", 1, "base RNG seed")
+		workers = flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
+		dot     = flag.Bool("dot", false, "print the final network as Graphviz DOT")
+		list    = flag.Bool("list", false, "list registered protocols and exit")
 	)
 	flag.Parse()
 
@@ -54,32 +58,49 @@ func run() error {
 	fmt.Printf("protocol %s (%d states) on n=%d, %d trial(s)\n",
 		c.Proto.Name(), c.Proto.Size(), *n, *trials)
 
-	times := make([]float64, 0, *trials)
-	var last core.Result
-	for t := 0; t < *trials; t++ {
-		res, err := core.Run(c.Proto, *n, core.Options{Seed: *seed + uint64(t), Detector: c.Detector})
+	var lastConvergedSeed uint64
+	haveConverged := false
+	out, err := campaign.Execute(context.Background(), []campaign.Point{{
+		Protocol: c.Proto.Name(),
+		N:        *n,
+		Trials:   *trials,
+		BaseSeed: *seed,
+		Proto:    c.Proto,
+		Detector: c.Detector,
+		Metric:   campaign.MetricConvergenceTime,
+	}}, campaign.Options{
+		Workers: *workers,
+		OnRun: func(rec campaign.RunRecord) {
+			if !rec.Converged {
+				fmt.Printf("  trial %d: DID NOT CONVERGE within %d steps\n", rec.Trial, rec.Steps)
+				return
+			}
+			fmt.Printf("  trial %d: converged at step %d (%d effective, %d edge changes)\n",
+				rec.Trial, rec.ConvergenceTime, rec.EffectiveSteps, rec.EdgeChanges)
+			lastConvergedSeed = rec.Seed
+			haveConverged = true
+		},
+	})
+	if err != nil {
+		return err
+	}
+	agg := out.Aggregates[0]
+	if agg.Converged > 0 {
+		fmt.Printf("mean convergence time: %.0f ± %.0f steps (min %.0f, max %.0f)\n",
+			agg.Mean, agg.StdErr, agg.Min, agg.Max)
+	}
+	if *dot && haveConverged {
+		// Replay the last converged trial sequentially — runs are
+		// deterministic in (protocol, n, seed), so this recovers the
+		// exact final configuration the campaign measured.
+		res, err := core.Run(c.Proto, *n, core.Options{Seed: lastConvergedSeed, Detector: c.Detector})
 		if err != nil {
 			return err
 		}
-		if !res.Converged {
-			fmt.Printf("  trial %d: DID NOT CONVERGE within %d steps\n", t, res.Steps)
-			continue
-		}
-		fmt.Printf("  trial %d: converged at step %d (%d effective, %d edge changes)\n",
-			t, res.ConvergenceTime, res.EffectiveSteps, res.EdgeChanges)
-		times = append(times, float64(res.ConvergenceTime))
-		last = res
-	}
-	if len(times) > 0 {
-		s := stats.Summarize(times)
-		fmt.Printf("mean convergence time: %.0f ± %.0f steps (min %.0f, max %.0f)\n",
-			s.Mean, s.StdErr(), s.Min, s.Max)
-	}
-	if *dot && last.Final != nil {
-		g := protocols.ActiveGraph(last.Final)
-		labels := make([]string, last.Final.N())
-		for u := 0; u < last.Final.N(); u++ {
-			labels[u] = c.Proto.StateName(last.Final.Node(u))
+		g := protocols.ActiveGraph(res.Final)
+		labels := make([]string, res.Final.N())
+		for u := 0; u < res.Final.N(); u++ {
+			labels[u] = c.Proto.StateName(res.Final.Node(u))
 		}
 		fmt.Println(g.DOT(c.Proto.Name(), labels))
 	}

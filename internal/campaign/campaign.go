@@ -1,0 +1,474 @@
+// Package campaign is the concurrent sweep engine behind every
+// measurement in this repository. A campaign is a grid of points —
+// (protocol, population size, scheduler) cells, each measured over a
+// seed range — that the engine fans out over a worker pool, one
+// goroutine per CPU by default, streaming per-run core.Results through
+// a collector into online aggregates.
+//
+// Trials with independent seeds are embarrassingly parallel, but
+// floating-point reduction is not associative, so the collector replays
+// completions in global trial order (holding out-of-order arrivals in a
+// small reorder buffer) before folding them into stats.Online
+// accumulators. A campaign therefore produces bit-identical aggregates
+// at workers=1 and workers=N — the sequential semantics of the old
+// hand-rolled trial loops, at parallel speed.
+//
+// The engine supports cancellation through context.Context, a per-run
+// wall-clock timeout (plugged into the simulator via
+// core.Options.Stop), a progress callback invoked in deterministic
+// order, and JSON/CSV export of both raw runs and aggregated series
+// (see export.go). Declarative specs — the JSON format accepted by
+// cmd/campaign — compile to points in spec.go.
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Metric extracts the measured value from a finished run. n is the
+// population size of the point (for normalized metrics such as
+// parallel time).
+type Metric func(res core.Result, n int) float64
+
+// Built-in metrics. MetricConvergenceTime is the paper's running time
+// and the default; MetricSteps is the detection step, the right
+// quantity for the Table 1 processes whose predicate flips exactly at
+// convergence.
+func MetricConvergenceTime(res core.Result, _ int) float64 { return float64(res.ConvergenceTime) }
+
+// MetricSteps returns the step at which stabilization was detected.
+func MetricSteps(res core.Result, _ int) float64 { return float64(res.Steps) }
+
+// MetricEffectiveSteps returns the number of effective interactions.
+func MetricEffectiveSteps(res core.Result, _ int) float64 { return float64(res.EffectiveSteps) }
+
+// MetricEdgeChanges returns the number of edge-changing interactions.
+func MetricEdgeChanges(res core.Result, _ int) float64 { return float64(res.EdgeChanges) }
+
+// MetricParallelTime returns the footnote-5 parallel-time estimate.
+func MetricParallelTime(res core.Result, n int) float64 { return res.ParallelTime(n) }
+
+// Point is one fully-resolved cell of a campaign grid: a protocol on a
+// population size under a scheduler, measured over Trials runs with
+// seeds BaseSeed, BaseSeed+1, … Specs compile to points; callers with
+// in-hand protocols (internal/experiments, cmd/netsim) build them
+// directly.
+type Point struct {
+	// Protocol, N and Scheduler label the point in records and
+	// aggregates. Scheduler is informational; the factory below decides
+	// the actual schedule ("" means uniform).
+	Protocol  string
+	N         int
+	Scheduler string
+
+	// Trials is the number of independent runs; seeds are BaseSeed+t
+	// for t in [0, Trials).
+	Trials   int
+	BaseSeed uint64
+
+	// Proto and Detector drive core.Run. MaxSteps and CheckInterval
+	// pass through to core.Options (zero means the engine defaults).
+	Proto         *core.Protocol
+	Detector      core.Detector
+	MaxSteps      int64
+	CheckInterval int64
+
+	// Metric extracts the measured value; nil means
+	// MetricConvergenceTime.
+	Metric Metric
+
+	// Expected is the analytic reference value for this point (0 when
+	// none applies); it is copied onto the aggregate.
+	Expected float64
+
+	// Initial, when non-nil, builds the initial configuration for a
+	// trial (it may return the same *core.Config every time — core.Run
+	// clones it). Nil means the all-q0 configuration.
+	Initial func(trial int) (*core.Config, error)
+
+	// NewScheduler, when non-nil, is invoked once per run so stateful
+	// schedulers (round-robin, permutation) are never shared across
+	// goroutines. Nil means the uniform scheduler.
+	NewScheduler func() core.Scheduler
+
+	// Observer, when non-nil, receives every effective step of every
+	// run of this point. Observers are shared across runs, so campaigns
+	// containing observed points must execute with Workers=1 unless the
+	// observer is safe for concurrent use.
+	Observer core.Observer
+
+	// Stop, when non-nil, is polled alongside the engine's own
+	// cancellation and timeout checks; returning true aborts the run
+	// (Stopped=true). It is called concurrently from every run of this
+	// point, so it must be safe for concurrent use.
+	Stop func() bool
+}
+
+// RunRecord is the raw outcome of one trial, as streamed to the
+// progress callback and retained when Options.KeepRuns is set.
+type RunRecord struct {
+	Point           int     `json:"point"`
+	Protocol        string  `json:"protocol"`
+	N               int     `json:"n"`
+	Scheduler       string  `json:"scheduler"`
+	Trial           int     `json:"trial"`
+	Seed            uint64  `json:"seed"`
+	Converged       bool    `json:"converged"`
+	Stopped         bool    `json:"stopped,omitempty"`
+	Steps           int64   `json:"steps"`
+	ConvergenceTime int64   `json:"convergence_time"`
+	EffectiveSteps  int64   `json:"effective_steps"`
+	EdgeChanges     int64   `json:"edge_changes"`
+	Value           float64 `json:"value"`
+	// DurationNS is wall-clock and therefore the one nondeterministic
+	// field of a record.
+	DurationNS int64  `json:"duration_ns"`
+	Err        string `json:"err,omitempty"`
+}
+
+// Aggregate is the reduced series entry for one point: summary
+// statistics of the metric over converged runs, plus failure counts.
+// For a fixed point list and seed range it is bit-identical regardless
+// of Options.Workers.
+type Aggregate struct {
+	Protocol  string  `json:"protocol"`
+	N         int     `json:"n"`
+	Scheduler string  `json:"scheduler"`
+	Trials    int     `json:"trials"`
+	Converged int     `json:"converged"`
+	Failures  int     `json:"failures"`
+	Stopped   int     `json:"stopped"`
+	Mean      float64 `json:"mean"`
+	StdErr    float64 `json:"stderr"`
+	StdDev    float64 `json:"stddev"`
+	Min       float64 `json:"min"`
+	Max       float64 `json:"max"`
+	Expected  float64 `json:"expected,omitempty"`
+}
+
+// Options configures campaign execution.
+type Options struct {
+	// Workers is the number of concurrent runs; ≤ 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Timeout, when positive, caps each run's wall-clock time; runs
+	// over it abort with Stopped=true and count as failures.
+	Timeout time.Duration
+	// KeepRuns retains every RunRecord (in deterministic global order)
+	// on the returned Outcome.
+	KeepRuns bool
+	// OnRun, when non-nil, receives each record as it is folded into
+	// the aggregates — in deterministic global order, so a record may
+	// be delivered a little after its run finished.
+	OnRun func(RunRecord)
+}
+
+// Outcome is the result of executing a campaign.
+type Outcome struct {
+	// Aggregates has one entry per point, in point order.
+	Aggregates []Aggregate
+	// Runs holds the raw records in global order when Options.KeepRuns
+	// was set.
+	Runs []RunRecord
+	// Workers is the worker count actually used; Elapsed the campaign
+	// wall-clock time.
+	Workers int
+	Elapsed time.Duration
+}
+
+type taggedRecord struct {
+	gid int
+	rec RunRecord
+}
+
+// Execute runs every trial of every point on a worker pool and reduces
+// the results in deterministic order. It returns early with ctx's
+// error when cancelled and with the first run error otherwise; both
+// cancel all in-flight runs via core.Options.Stop.
+func Execute(ctx context.Context, points []Point, opts Options) (Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := validate(points); err != nil {
+		return Outcome{}, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Global trial ids: point p's trial t has gid offsets[p]+t. The
+	// collector folds records in increasing gid order, which fixes the
+	// reduction order independently of scheduling.
+	offsets := make([]int, len(points))
+	total := 0
+	for i, pt := range points {
+		offsets[i] = total
+		total += pt.Trials
+	}
+	if workers > total {
+		workers = total
+	}
+
+	start := time.Now()
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobs := make(chan int, workers)
+	results := make(chan taggedRecord, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for gid := range jobs {
+				if runCtx.Err() != nil {
+					continue // drain without running
+				}
+				p, t := locate(offsets, points, gid)
+				results <- taggedRecord{gid: gid, rec: runTrial(runCtx, &points[p], p, t, opts.Timeout)}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for gid := 0; gid < total; gid++ {
+			select {
+			case jobs <- gid:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Collector: reorder buffer + in-order fold.
+	accs := make([]stats.Online, len(points))
+	out := Outcome{Aggregates: make([]Aggregate, len(points)), Workers: workers}
+	for i, pt := range points {
+		out.Aggregates[i] = Aggregate{
+			Protocol:  pt.Protocol,
+			N:         pt.N,
+			Scheduler: schedulerLabel(pt),
+			Trials:    pt.Trials,
+			Expected:  pt.Expected,
+		}
+	}
+	pending := make(map[int]RunRecord, workers)
+	next := 0
+	var firstErr error
+	firstErrGid := -1
+	for tr := range results {
+		if tr.rec.Err != "" && (firstErrGid < 0 || tr.gid < firstErrGid) {
+			// Record errors out of band: cancellation may break the
+			// in-order chain before this gid is reached.
+			firstErr = errors.New(tr.rec.Err)
+			firstErrGid = tr.gid
+			cancel()
+		}
+		pending[tr.gid] = tr.rec
+		for {
+			rec, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			agg := &out.Aggregates[rec.Point]
+			switch {
+			case rec.Err != "":
+				agg.Failures++
+			case rec.Converged:
+				agg.Converged++
+				accs[rec.Point].Add(rec.Value)
+			default:
+				agg.Failures++
+				if rec.Stopped {
+					agg.Stopped++
+				}
+			}
+			if opts.KeepRuns {
+				out.Runs = append(out.Runs, rec)
+			}
+			if opts.OnRun != nil {
+				opts.OnRun(rec)
+			}
+		}
+	}
+	for i := range out.Aggregates {
+		o := &accs[i]
+		agg := &out.Aggregates[i]
+		agg.Mean = o.Mean()
+		agg.StdErr = o.StdErr()
+		agg.StdDev = o.StdDev()
+		agg.Min = o.Min()
+		agg.Max = o.Max()
+	}
+	out.Elapsed = time.Since(start)
+
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	if firstErr != nil {
+		return out, firstErr
+	}
+	return out, nil
+}
+
+func validate(points []Point) error {
+	for i, pt := range points {
+		if pt.Proto == nil {
+			return fmt.Errorf("campaign: point %d has no protocol", i)
+		}
+		if pt.N < 1 {
+			return fmt.Errorf("campaign: point %d (%s): population size must be ≥ 1", i, pt.Protocol)
+		}
+		if pt.Trials < 1 {
+			return fmt.Errorf("campaign: point %d (%s): trials must be ≥ 1", i, pt.Protocol)
+		}
+	}
+	return nil
+}
+
+// locate maps a global trial id back to its (point, trial) pair.
+func locate(offsets []int, points []Point, gid int) (point, trial int) {
+	// offsets is increasing and short (one entry per grid cell); a
+	// linear scan from the back finds the owning point.
+	for p := len(offsets) - 1; p >= 0; p-- {
+		if gid >= offsets[p] {
+			return p, gid - offsets[p]
+		}
+	}
+	panic("campaign: gid out of range")
+}
+
+func schedulerLabel(pt Point) string {
+	if pt.Scheduler != "" {
+		return pt.Scheduler
+	}
+	if pt.NewScheduler != nil {
+		if s := pt.NewScheduler(); s != nil {
+			return s.Name()
+		}
+	}
+	return core.UniformScheduler{}.Name()
+}
+
+// runTrial executes one run and never returns an unrecoverable error:
+// failures are encoded on the record so the collector can count and
+// report them deterministically.
+func runTrial(ctx context.Context, pt *Point, pointIdx, trial int, timeout time.Duration) RunRecord {
+	rec := RunRecord{
+		Point:     pointIdx,
+		Protocol:  pt.Protocol,
+		N:         pt.N,
+		Scheduler: schedulerLabel(*pt),
+		Trial:     trial,
+		Seed:      pt.BaseSeed + uint64(trial),
+	}
+	opts := core.Options{
+		Seed:          rec.Seed,
+		Detector:      pt.Detector,
+		MaxSteps:      pt.MaxSteps,
+		CheckInterval: pt.CheckInterval,
+		Observer:      pt.Observer,
+	}
+	if pt.NewScheduler != nil {
+		opts.Scheduler = pt.NewScheduler()
+	}
+	if pt.Initial != nil {
+		initial, err := pt.Initial(trial)
+		if err != nil {
+			rec.Err = err.Error()
+			return rec
+		}
+		opts.Initial = initial
+	}
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	opts.Stop = func() bool {
+		select {
+		case <-ctx.Done():
+			return true
+		default:
+		}
+		if timeout > 0 && time.Now().After(deadline) {
+			return true
+		}
+		return pt.Stop != nil && pt.Stop()
+	}
+
+	start := time.Now()
+	res, err := core.Run(pt.Proto, pt.N, opts)
+	rec.DurationNS = time.Since(start).Nanoseconds()
+	if err != nil {
+		rec.Err = err.Error()
+		return rec
+	}
+	rec.Converged = res.Converged
+	rec.Stopped = res.Stopped
+	rec.Steps = res.Steps
+	rec.ConvergenceTime = res.ConvergenceTime
+	rec.EffectiveSteps = res.EffectiveSteps
+	rec.EdgeChanges = res.EdgeChanges
+	metric := pt.Metric
+	if metric == nil {
+		metric = MetricConvergenceTime
+	}
+	rec.Value = metric(res, pt.N)
+	return rec
+}
+
+// Mean replaces the old core.Mean: it runs the protocol `trials` times
+// with seeds seed, seed+1, … on the worker pool and returns the mean
+// convergence time over converged runs plus the number of runs that
+// failed to converge within budget. A caller-supplied scheduler or
+// observer in opts forces sequential execution (they would otherwise be
+// shared across goroutines); opts.Seed is ignored in favor of the seed
+// argument.
+func Mean(p *core.Protocol, n, trials int, seed uint64, opts core.Options) (mean float64, failures int, err error) {
+	pt := Point{
+		Protocol:      p.Name(),
+		N:             n,
+		Trials:        trials,
+		BaseSeed:      seed,
+		Proto:         p,
+		Detector:      opts.Detector,
+		MaxSteps:      opts.MaxSteps,
+		CheckInterval: opts.CheckInterval,
+		Observer:      opts.Observer,
+		Stop:          opts.Stop,
+	}
+	if opts.Initial != nil {
+		initial := opts.Initial
+		pt.Initial = func(int) (*core.Config, error) { return initial, nil }
+	}
+	var workers int
+	if opts.Scheduler != nil {
+		sched := opts.Scheduler
+		pt.NewScheduler = func() core.Scheduler { return sched }
+		workers = 1
+	}
+	if opts.Observer != nil {
+		workers = 1
+	}
+	out, err := Execute(context.Background(), []Point{pt}, Options{Workers: workers})
+	if err != nil {
+		return 0, 0, err
+	}
+	agg := out.Aggregates[0]
+	return agg.Mean, agg.Failures, nil
+}

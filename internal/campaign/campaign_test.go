@@ -1,0 +1,377 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/processes"
+	"repro/internal/protocols"
+)
+
+// testPoints builds a small mixed grid: a Table 2 constructor sweep
+// plus a Table 1 process with a distinguished-node initial
+// configuration.
+func testPoints(t *testing.T, trials int) []Point {
+	t.Helper()
+	cc := protocols.CycleCover()
+	proc := processes.OneWayEpidemic()
+	points := []Point{
+		{Protocol: "cycle-cover", N: 16, Trials: trials, BaseSeed: 1,
+			Proto: cc.Proto, Detector: cc.Detector, Metric: MetricConvergenceTime},
+		{Protocol: "cycle-cover", N: 24, Trials: trials, BaseSeed: 1,
+			Proto: cc.Proto, Detector: cc.Detector, Metric: MetricConvergenceTime},
+	}
+	initial, err := proc.Initial(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points = append(points, Point{
+		Protocol: proc.Proto.Name(), N: 32, Trials: trials, BaseSeed: 7,
+		Proto: proc.Proto, Detector: proc.Detector, Metric: MetricSteps,
+		Expected: proc.Expected(32),
+		Initial:  func(int) (*core.Config, error) { return initial, nil },
+	})
+	return points
+}
+
+func stripDurations(runs []RunRecord) []RunRecord {
+	out := make([]RunRecord, len(runs))
+	copy(out, runs)
+	for i := range out {
+		out[i].DurationNS = 0
+	}
+	return out
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	t.Parallel()
+	const trials = 8
+	var baseline Outcome
+	for i, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		out, err := Execute(context.Background(), testPoints(t, trials), Options{
+			Workers:  workers,
+			KeepRuns: true,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out.Aggregates) != 3 {
+			t.Fatalf("workers=%d: %d aggregates", workers, len(out.Aggregates))
+		}
+		for _, agg := range out.Aggregates {
+			if agg.Converged != trials || agg.Failures != 0 || agg.Mean <= 0 {
+				t.Fatalf("workers=%d: bad aggregate %+v", workers, agg)
+			}
+		}
+		if i == 0 {
+			baseline = out
+			continue
+		}
+		// Bit-identical aggregates and identically ordered raw runs,
+		// regardless of the worker count.
+		if !reflect.DeepEqual(out.Aggregates, baseline.Aggregates) {
+			t.Fatalf("workers=%d aggregates diverge:\n%+v\nvs workers=1:\n%+v",
+				workers, out.Aggregates, baseline.Aggregates)
+		}
+		if !reflect.DeepEqual(stripDurations(out.Runs), stripDurations(baseline.Runs)) {
+			t.Fatalf("workers=%d raw runs diverge from workers=1", workers)
+		}
+	}
+}
+
+func TestOnRunStreamsInGlobalOrder(t *testing.T) {
+	t.Parallel()
+	var seen []int
+	out, err := Execute(context.Background(), testPoints(t, 4), Options{
+		Workers: 4,
+		OnRun: func(rec RunRecord) {
+			seen = append(seen, rec.Point*100+rec.Trial)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 12 {
+		t.Fatalf("callback fired %d times, want 12", len(seen))
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] <= seen[i-1] {
+			t.Fatalf("callback out of global order: %v", seen)
+		}
+	}
+	if out.Workers != 4 {
+		t.Fatalf("workers=%d, want 4", out.Workers)
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	// A grid big and slow enough that cancellation lands mid-flight:
+	// cancel from the first progress callback.
+	sgl := protocols.SimpleGlobalLine()
+	points := []Point{{
+		Protocol: "simple-global-line", N: 20, Trials: 64, BaseSeed: 1,
+		Proto: sgl.Proto, Detector: sgl.Detector,
+	}}
+	done := make(chan struct{})
+	var out Outcome
+	var err error
+	go func() {
+		defer close(done)
+		out, err = Execute(ctx, points, Options{Workers: 2, OnRun: func(RunRecord) { cancel() }})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled campaign did not return")
+	}
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out.Aggregates[0].Converged >= 64 {
+		t.Fatal("cancellation did not stop the sweep early")
+	}
+}
+
+func TestPerRunTimeout(t *testing.T) {
+	t.Parallel()
+	// A protocol that keeps toggling and never stabilizes: its detector
+	// never fires, so only the timeout can end the run early.
+	p := core.MustProtocol("ping", []string{"a", "b"}, 0, nil, []core.Rule{
+		{A: 0, B: 0, Edge: false, OutA: 1, OutB: 1},
+		{A: 1, B: 1, Edge: false, OutA: 0, OutB: 0},
+		{A: 0, B: 1, Edge: false, OutA: 1, OutB: 0},
+	})
+	never := core.Detector{Trigger: core.TriggerInterval, Stable: func(*core.Config) bool { return false }}
+	out, err := Execute(context.Background(), []Point{{
+		Protocol: "ping", N: 64, Trials: 3, BaseSeed: 1,
+		Proto: p, Detector: never,
+	}}, Options{Workers: 2, Timeout: 20 * time.Millisecond, KeepRuns: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := out.Aggregates[0]
+	if agg.Failures != 3 || agg.Stopped != 3 || agg.Converged != 0 {
+		t.Fatalf("timeout aggregate %+v", agg)
+	}
+	for _, rec := range out.Runs {
+		if !rec.Stopped || rec.Converged {
+			t.Fatalf("run not stopped by timeout: %+v", rec)
+		}
+	}
+}
+
+func TestExecuteValidates(t *testing.T) {
+	t.Parallel()
+	cc := protocols.CycleCover()
+	cases := []Point{
+		{Protocol: "no-proto", N: 8, Trials: 1},
+		{Protocol: "cycle-cover", N: 0, Trials: 1, Proto: cc.Proto},
+		{Protocol: "cycle-cover", N: 8, Trials: 0, Proto: cc.Proto},
+	}
+	for _, pt := range cases {
+		if _, err := Execute(context.Background(), []Point{pt}, Options{}); err == nil {
+			t.Fatalf("invalid point accepted: %+v", pt)
+		}
+	}
+}
+
+func TestInitialErrorSurfaces(t *testing.T) {
+	t.Parallel()
+	cc := protocols.CycleCover()
+	boom := func(int) (*core.Config, error) { return nil, context.DeadlineExceeded }
+	_, err := Execute(context.Background(), []Point{{
+		Protocol: "cycle-cover", N: 8, Trials: 4, BaseSeed: 1,
+		Proto: cc.Proto, Detector: cc.Detector, Initial: boom,
+	}}, Options{Workers: 2})
+	if err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("err = %v, want the initial-builder error", err)
+	}
+}
+
+func TestMeanMatchesSequentialSemantics(t *testing.T) {
+	t.Parallel()
+	mm := core.MustProtocol("mm", []string{"a", "b"}, 0, nil, []core.Rule{
+		{A: 0, B: 0, Edge: false, OutA: 1, OutB: 1, OutEdge: true},
+	})
+	det := core.Detector{Trigger: core.TriggerEffective, Stable: func(cfg *core.Config) bool {
+		return cfg.Count(0) <= 1
+	}}
+	mean, failures, err := Mean(mm, 10, 5, 1, core.Options{Detector: det})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 || mean <= 0 {
+		t.Fatalf("mean %f failures %d", mean, failures)
+	}
+	if _, _, err := Mean(mm, 10, 0, 1, core.Options{Detector: det}); err == nil {
+		t.Fatal("trials=0 accepted")
+	}
+	// A caller-supplied Stop hook must reach the engine: with an
+	// always-true hook no run can converge.
+	_, failures3, err := Mean(mm, 10, 3, 1, core.Options{
+		Detector: det,
+		Stop:     func() bool { return true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures3 != 3 {
+		t.Fatalf("Stop hook ignored: %d failures, want 3", failures3)
+	}
+	// A stateful scheduler must still work (forced sequential).
+	mean2, failures2, err := Mean(mm, 10, 5, 1, core.Options{
+		Detector:  det,
+		Scheduler: &core.RoundRobinScheduler{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures2 != 0 || mean2 <= 0 {
+		t.Fatalf("round-robin mean %f failures %d", mean2, failures2)
+	}
+}
+
+func TestSpecCompile(t *testing.T) {
+	t.Parallel()
+	spec := Spec{
+		Trials: 3,
+		Seed:   5,
+		Items: []Item{
+			{Name: "cycle-cover", Sizes: []int{8, 16}},
+			{Name: "One-Way-Epidemic", Kind: "process", Sizes: []int{16}},
+			{Kind: "replication", Sizes: []int{8}},
+		},
+		Schedulers: []string{"uniform", "round-robin"},
+	}
+	points, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (2 + 1 + 1 sizes) × 2 schedulers.
+	if len(points) != 8 {
+		t.Fatalf("%d points, want 8", len(points))
+	}
+	if points[0].Protocol != "cycle-cover" || points[0].N != 8 || points[0].Scheduler != "uniform" {
+		t.Fatalf("first point %+v", points[0])
+	}
+	if points[1].NewScheduler == nil {
+		t.Fatal("round-robin point has no scheduler factory")
+	}
+	for _, pt := range points {
+		if pt.Protocol == "One-Way-Epidemic" {
+			if pt.Expected <= 0 || pt.Initial == nil {
+				t.Fatalf("process point not resolved: %+v", pt)
+			}
+		}
+		if pt.Protocol == "graph-replication" && pt.Initial == nil {
+			t.Fatalf("replication point has no initial builder")
+		}
+	}
+	// The compiled grid must actually execute.
+	out, err := Execute(context.Background(), points, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, agg := range out.Aggregates {
+		if agg.Failures > 0 {
+			t.Fatalf("compiled spec run failed: %+v", agg)
+		}
+	}
+}
+
+func TestSpecCompileRejects(t *testing.T) {
+	t.Parallel()
+	bad := []Spec{
+		{Trials: 1},
+		{Trials: 0, Items: []Item{{Name: "cycle-cover", Sizes: []int{8}}}},
+		{Trials: 1, Items: []Item{{Name: "cycle-cover"}}},
+		{Trials: 1, Items: []Item{{Name: "nope", Sizes: []int{8}}}},
+		{Trials: 1, Items: []Item{{Name: "nope", Kind: "process", Sizes: []int{8}}}},
+		{Trials: 1, Items: []Item{{Name: "cycle-cover", Kind: "wat", Sizes: []int{8}}}},
+		{Trials: 1, Items: []Item{{Name: "cycle-cover", Sizes: []int{8}}}, Schedulers: []string{"nope"}},
+		{Trials: 1, Items: []Item{{Name: "cycle-cover", Sizes: []int{8}}}, Metric: "nope"},
+	}
+	for i, spec := range bad {
+		if _, err := spec.Compile(); err == nil {
+			t.Fatalf("bad spec %d accepted: %+v", i, spec)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	t.Parallel()
+	src := `{"items":[{"name":"global-star","sizes":[16,32]}],"trials":4,"seed":9,"metric":"steps"}`
+	spec, err := ParseSpec(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Trials != 4 || spec.Seed != 9 || len(spec.Items) != 1 || spec.Metric != "steps" {
+		t.Fatalf("parsed spec %+v", spec)
+	}
+	if _, err := ParseSpec(strings.NewReader(`{"itemz":[]}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestExportRoundTrip(t *testing.T) {
+	t.Parallel()
+	cc := protocols.CycleCover()
+	out, err := Execute(context.Background(), []Point{{
+		Protocol: "cycle-cover", N: 12, Trials: 4, BaseSeed: 1,
+		Proto: cc.Proto, Detector: cc.Detector,
+	}}, Options{KeepRuns: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteAggregatesJSON(&buf, out.Aggregates); err != nil {
+		t.Fatal(err)
+	}
+	var aggs []Aggregate
+	if err := json.Unmarshal(buf.Bytes(), &aggs); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(aggs, out.Aggregates) {
+		t.Fatalf("JSON aggregate round trip diverged:\n%+v\nvs\n%+v", aggs, out.Aggregates)
+	}
+
+	buf.Reset()
+	if err := WriteRunsJSON(&buf, out.Runs); err != nil {
+		t.Fatal(err)
+	}
+	var runs []RunRecord
+	if err := json.Unmarshal(buf.Bytes(), &runs); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(runs, out.Runs) {
+		t.Fatal("JSON runs round trip diverged")
+	}
+
+	buf.Reset()
+	if err := WriteAggregatesCSV(&buf, out.Aggregates); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "protocol,n,scheduler") {
+		t.Fatalf("aggregate CSV:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteRunsCSV(&buf, out.Runs); err != nil {
+		t.Fatal(err)
+	}
+	lines = strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 || !strings.HasPrefix(lines[0], "point,protocol,n") {
+		t.Fatalf("runs CSV:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,97 @@
+package campaign
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteAggregatesJSON writes the aggregated series as indented JSON.
+func WriteAggregatesJSON(w io.Writer, aggs []Aggregate) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(aggs)
+}
+
+// WriteAggregatesCSV writes the aggregated series as CSV with a header
+// row.
+func WriteAggregatesCSV(w io.Writer, aggs []Aggregate) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"protocol", "n", "scheduler", "trials", "converged", "failures",
+		"stopped", "mean", "stderr", "stddev", "min", "max", "expected",
+	}); err != nil {
+		return err
+	}
+	for _, a := range aggs {
+		rec := []string{
+			a.Protocol,
+			strconv.Itoa(a.N),
+			a.Scheduler,
+			strconv.Itoa(a.Trials),
+			strconv.Itoa(a.Converged),
+			strconv.Itoa(a.Failures),
+			strconv.Itoa(a.Stopped),
+			formatFloat(a.Mean),
+			formatFloat(a.StdErr),
+			formatFloat(a.StdDev),
+			formatFloat(a.Min),
+			formatFloat(a.Max),
+			formatFloat(a.Expected),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteRunsJSON writes the raw run records as indented JSON.
+func WriteRunsJSON(w io.Writer, runs []RunRecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(runs)
+}
+
+// WriteRunsCSV writes the raw run records as CSV with a header row.
+func WriteRunsCSV(w io.Writer, runs []RunRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"point", "protocol", "n", "scheduler", "trial", "seed",
+		"converged", "stopped", "steps", "convergence_time",
+		"effective_steps", "edge_changes", "value", "duration_ns", "err",
+	}); err != nil {
+		return err
+	}
+	for _, r := range runs {
+		rec := []string{
+			strconv.Itoa(r.Point),
+			r.Protocol,
+			strconv.Itoa(r.N),
+			r.Scheduler,
+			strconv.Itoa(r.Trial),
+			strconv.FormatUint(r.Seed, 10),
+			strconv.FormatBool(r.Converged),
+			strconv.FormatBool(r.Stopped),
+			strconv.FormatInt(r.Steps, 10),
+			strconv.FormatInt(r.ConvergenceTime, 10),
+			strconv.FormatInt(r.EffectiveSteps, 10),
+			strconv.FormatInt(r.EdgeChanges, 10),
+			formatFloat(r.Value),
+			strconv.FormatInt(r.DurationNS, 10),
+			r.Err,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}

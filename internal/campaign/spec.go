@@ -1,0 +1,222 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/processes"
+	"repro/internal/protocols"
+)
+
+// Spec is the declarative, JSON-serializable form of a campaign: a
+// grid of items crossed with population sizes and schedulers, measured
+// over a seed range. It is what cmd/campaign reads from disk and what
+// Compile turns into executable points.
+//
+//	{
+//	  "items": [
+//	    {"name": "cycle-cover", "sizes": [32, 64, 128]},
+//	    {"name": "One-Way-Epidemic", "kind": "process", "sizes": [64]}
+//	  ],
+//	  "trials": 20,
+//	  "seed": 1,
+//	  "schedulers": ["uniform"],
+//	  "metric": "convergence-time"
+//	}
+type Spec struct {
+	Items []Item `json:"items"`
+	// Trials per grid point; seeds are Seed, Seed+1, …, Seed+Trials−1.
+	Trials int    `json:"trials"`
+	Seed   uint64 `json:"seed"`
+	// Schedulers lists schedule regimes to cross the grid with; empty
+	// means just the uniform random scheduler. Known names: "uniform",
+	// "round-robin", "permutation".
+	Schedulers []string `json:"schedulers,omitempty"`
+	// Metric selects the measured quantity: "convergence-time"
+	// (default for protocols), "steps" (default for processes),
+	// "effective-steps", "edge-changes" or "parallel-time".
+	Metric string `json:"metric,omitempty"`
+	// MaxSteps caps each run's interactions; 0 means the engine's
+	// per-n default budget.
+	MaxSteps int64 `json:"max_steps,omitempty"`
+}
+
+// Item is one row of a spec grid: a named protocol or process swept
+// over population sizes.
+type Item struct {
+	// Name is a protocols.Registry key (kind "protocol"), a
+	// processes.Registry key (kind "process"), or ignored for kind
+	// "replication".
+	Name string `json:"name"`
+	// Kind is "protocol" (default), "process", or "replication".
+	Kind string `json:"kind,omitempty"`
+	// Sizes is the population sweep for this item.
+	Sizes []int `json:"sizes"`
+	// Trials and Metric, when set, override the spec-level values for
+	// this item.
+	Trials int    `json:"trials,omitempty"`
+	Metric string `json:"metric,omitempty"`
+}
+
+// ParseSpec decodes a JSON spec, rejecting unknown fields.
+func ParseSpec(r io.Reader) (Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("campaign: parsing spec: %w", err)
+	}
+	return s, nil
+}
+
+// SchedulerFactory resolves a scheduler name to a per-run factory
+// (stateful schedulers must never be shared across runs). The nil
+// factory means the engine's uniform default.
+func SchedulerFactory(name string) (func() core.Scheduler, error) {
+	switch name {
+	case "", "uniform":
+		return nil, nil
+	case "round-robin":
+		return func() core.Scheduler { return &core.RoundRobinScheduler{} }, nil
+	case "permutation":
+		return func() core.Scheduler { return &core.PermutationScheduler{} }, nil
+	default:
+		return nil, fmt.Errorf("campaign: unknown scheduler %q (known: uniform, round-robin, permutation)", name)
+	}
+}
+
+// ParseMetric resolves a metric name to its extractor.
+func ParseMetric(name string) (Metric, error) {
+	switch name {
+	case "convergence-time":
+		return MetricConvergenceTime, nil
+	case "steps":
+		return MetricSteps, nil
+	case "effective-steps":
+		return MetricEffectiveSteps, nil
+	case "edge-changes":
+		return MetricEdgeChanges, nil
+	case "parallel-time":
+		return MetricParallelTime, nil
+	default:
+		return nil, fmt.Errorf("campaign: unknown metric %q (known: convergence-time, steps, effective-steps, edge-changes, parallel-time)", name)
+	}
+}
+
+// Compile resolves the spec against the protocol and process
+// registries, returning the point list in deterministic grid order
+// (items × sizes × schedulers).
+func (s Spec) Compile() ([]Point, error) {
+	if len(s.Items) == 0 {
+		return nil, fmt.Errorf("campaign: spec has no items")
+	}
+	if s.Trials < 1 {
+		return nil, fmt.Errorf("campaign: spec trials must be ≥ 1")
+	}
+	schedulers := s.Schedulers
+	if len(schedulers) == 0 {
+		schedulers = []string{"uniform"}
+	}
+	var points []Point
+	for i, item := range s.Items {
+		if len(item.Sizes) == 0 {
+			return nil, fmt.Errorf("campaign: item %d (%q) has no sizes", i, item.Name)
+		}
+		trials := item.Trials
+		if trials == 0 {
+			trials = s.Trials
+		}
+		metricName := item.Metric
+		if metricName == "" {
+			metricName = s.Metric
+		}
+		for _, n := range item.Sizes {
+			for _, schedName := range schedulers {
+				factory, err := SchedulerFactory(schedName)
+				if err != nil {
+					return nil, err
+				}
+				pt := Point{
+					N:            n,
+					Scheduler:    schedName,
+					Trials:       trials,
+					BaseSeed:     s.Seed,
+					MaxSteps:     s.MaxSteps,
+					NewScheduler: factory,
+				}
+				if pt.Scheduler == "" {
+					pt.Scheduler = "uniform"
+				}
+				if err := resolveItem(&pt, item, metricName); err != nil {
+					return nil, err
+				}
+				points = append(points, pt)
+			}
+		}
+	}
+	return points, nil
+}
+
+// resolveItem fills the protocol-dependent fields of a compiled point.
+func resolveItem(pt *Point, item Item, metricName string) error {
+	switch item.Kind {
+	case "", "protocol":
+		c, err := protocols.Lookup(item.Name)
+		if err != nil {
+			return err
+		}
+		pt.Protocol = item.Name
+		pt.Proto = c.Proto
+		pt.Detector = c.Detector
+		if metricName == "" {
+			metricName = "convergence-time"
+		}
+	case "process":
+		proc, err := processes.Lookup(item.Name)
+		if err != nil {
+			return err
+		}
+		pt.Protocol = item.Name
+		pt.Proto = proc.Proto
+		pt.Detector = proc.Detector
+		pt.Expected = proc.Expected(pt.N)
+		initial, err := proc.Initial(pt.N)
+		if err != nil {
+			return err
+		}
+		if initial != nil {
+			pt.Initial = func(int) (*core.Config, error) { return initial, nil }
+		}
+		// For the pure processes the detection step is the convergence
+		// step, so "steps" is the faithful default metric.
+		if metricName == "" {
+			metricName = "steps"
+		}
+	case "replication":
+		// Graph-Replication's input is a ring on ⌊n/2⌋ nodes replicated
+		// onto the other half, matching the Table 2 measurement.
+		c := protocols.GraphReplication()
+		n := pt.N
+		g1 := graph.Ring(n / 2)
+		pt.Protocol = c.Proto.Name()
+		pt.Proto = c.Proto
+		pt.Detector = protocols.ReplicationDetector(g1)
+		pt.Initial = func(int) (*core.Config, error) {
+			return protocols.ReplicationInitial(c.Proto, g1, n)
+		}
+		if metricName == "" {
+			metricName = "convergence-time"
+		}
+	default:
+		return fmt.Errorf("campaign: unknown item kind %q (known: protocol, process, replication)", item.Kind)
+	}
+	metric, err := ParseMetric(metricName)
+	if err != nil {
+		return err
+	}
+	pt.Metric = metric
+	return nil
+}

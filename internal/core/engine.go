@@ -74,6 +74,12 @@ type Options struct {
 	Initial *Config
 	// Observer, when non-nil, receives every effective step.
 	Observer Observer
+	// Stop, when non-nil, is polled once immediately and then every
+	// CheckInterval steps; when it returns true the run aborts early
+	// with Converged=false and Stopped=true. It is how callers plug in
+	// context cancellation and per-run deadlines at the cost of a
+	// single counter decrement per step.
+	Stop func() bool
 }
 
 // Observer receives effective steps for tracing and figure generation.
@@ -89,6 +95,9 @@ type Observer interface {
 type Result struct {
 	// Converged reports whether the detector fired before MaxSteps.
 	Converged bool
+	// Stopped reports whether Options.Stop aborted the run before the
+	// detector fired or the step budget ran out.
+	Stopped bool
 	// Steps is the number of interactions executed when stabilization
 	// was detected (or MaxSteps on abort).
 	Steps int64
@@ -179,8 +188,24 @@ func Run(p *Protocol, n int, opts Options) (Result, error) {
 		return res, nil
 	}
 
+	// Stop is polled on a countdown (first poll before the first step,
+	// then every interval steps) so the hot loop pays one decrement,
+	// not a division, per step.
+	stopCountdown := int64(1)
+
 	var step int64
 	for step < maxSteps {
+		if opts.Stop != nil {
+			stopCountdown--
+			if stopCountdown <= 0 {
+				stopCountdown = interval
+				if opts.Stop() {
+					res.Stopped = true
+					res.Steps = step
+					return res, nil
+				}
+			}
+		}
 		step++
 		u, v := sched.Next(cfg, rng)
 		beforeU, beforeV := cfg.Node(u), cfg.Node(v)
@@ -226,31 +251,7 @@ func Run(p *Protocol, n int, opts Options) (Result, error) {
 	return res, nil
 }
 
-// Mean runs the protocol `trials` times with seeds seed, seed+1, … and
-// returns the mean convergence time over converged runs plus the number
-// of runs that failed to converge within budget.
-func Mean(p *Protocol, n, trials int, seed uint64, opts Options) (mean float64, failures int, err error) {
-	if trials < 1 {
-		return 0, 0, errors.New("core: trials must be ≥ 1")
-	}
-	var total float64
-	converged := 0
-	for t := 0; t < trials; t++ {
-		o := opts
-		o.Seed = seed + uint64(t)
-		res, runErr := Run(p, n, o)
-		if runErr != nil {
-			return 0, 0, runErr
-		}
-		if !res.Converged {
-			failures++
-			continue
-		}
-		total += float64(res.ConvergenceTime)
-		converged++
-	}
-	if converged == 0 {
-		return 0, failures, nil
-	}
-	return total / float64(converged), failures, nil
-}
+// Mean was the package's sequential multi-trial helper; it moved to
+// repro/internal/campaign (campaign.Mean), which runs the trials on a
+// worker pool and aggregates them through the same reduction as every
+// other sweep.

@@ -209,25 +209,23 @@ func TestConvergenceTimeTracksOutputOnly(t *testing.T) {
 	}
 }
 
-func TestMean(t *testing.T) {
+func TestStopAbortsRun(t *testing.T) {
 	t.Parallel()
 	p, det := epidemicProtocol()
-	// Mean over initial-config-dependent runs: use default initial
-	// (all b) — the epidemic cannot start, so use the matching
-	// protocol instead.
-	mm := MustProtocol("mm", []string{"a", "b"}, 0, nil, []Rule{
-		{A: 0, B: 0, Edge: false, OutA: 1, OutB: 1, OutEdge: true},
-	})
-	mdet := Detector{Trigger: TriggerEffective, Stable: func(cfg *Config) bool { return cfg.Count(0) <= 1 }}
-	mean, failures, err := Mean(mm, 10, 5, 1, Options{Detector: mdet})
+	res, err := Run(p, 64, Options{Seed: 1, Detector: det, Stop: func() bool { return true }})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if failures != 0 || mean <= 0 {
-		t.Fatalf("mean %f failures %d", mean, failures)
+	if res.Converged || !res.Stopped {
+		t.Fatalf("Converged=%v Stopped=%v, want false/true", res.Converged, res.Stopped)
 	}
-	if _, _, err := Mean(p, 10, 0, 1, Options{Detector: det}); err == nil {
-		t.Fatal("trials=0 accepted")
+	// A nil Stop (the default) must leave runs untouched.
+	res, err = Run(p, 8, Options{Seed: 1, Detector: det, Initial: seededInitial(p, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped {
+		t.Fatal("nil Stop marked the run stopped")
 	}
 }
 

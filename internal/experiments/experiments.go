@@ -3,13 +3,20 @@
 // n-sweeps of every Table 1 process and Table 2 protocol, scaling-
 // exponent fits, and the Faster-vs-Fast Global-Line comparison from
 // Section 7.
+//
+// Every sweep is a thin wrapper over a campaign (see
+// repro/internal/campaign): the grid of (protocol, n) points executes
+// on a worker pool, one goroutine per CPU, and the campaign collector's
+// order-independent reduction keeps the reported statistics identical
+// to the old sequential trial loops for a fixed seed range.
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
-	"repro/internal/graph"
 	"repro/internal/processes"
 	"repro/internal/protocols"
 	"repro/internal/stats"
@@ -55,101 +62,103 @@ func (s Series) RatioSpread() (float64, error) {
 	return stats.RatioSpread(ys, s.Expected)
 }
 
-// MeasureProcess sweeps a Table 1 process over sizes.
+// sweep executes the points as a campaign on the default worker pool
+// and converts the aggregates into a Series, failing if any run did
+// not converge within budget (the historical contract of these
+// measurement helpers).
+func sweep(name string, points []campaign.Point) (Series, error) {
+	out, err := campaign.Execute(context.Background(), points, campaign.Options{})
+	if err != nil {
+		return Series{}, err
+	}
+	series := Series{Name: name}
+	for _, agg := range out.Aggregates {
+		if agg.Failures > 0 {
+			return Series{}, fmt.Errorf("experiments: %s n=%d: %d of %d trials did not converge",
+				agg.Protocol, agg.N, agg.Failures, agg.Trials)
+		}
+		series.Points = append(series.Points, Measurement{
+			N:      agg.N,
+			Mean:   agg.Mean,
+			StdErr: agg.StdErr,
+			Trials: agg.Trials,
+		})
+	}
+	return series, nil
+}
+
+// MeasureProcess sweeps a Table 1 process over sizes. For the pure
+// processes the detection step is the convergence step: the predicate
+// flips exactly when the last conversion happens (which may be a
+// node-state change, not an edge one), so the campaign measures
+// MetricSteps.
 func MeasureProcess(proc processes.Process, sizes []int, trials int, seed uint64) (Series, error) {
-	series := Series{Name: proc.Proto.Name(), Theta: proc.Theta}
+	points := make([]campaign.Point, 0, len(sizes))
 	for _, n := range sizes {
-		ms, err := measureProcessAt(proc, n, trials, seed)
+		initial, err := proc.Initial(n)
 		if err != nil {
 			return Series{}, err
 		}
-		series.Points = append(series.Points, ms)
+		pt := campaign.Point{
+			Protocol: proc.Proto.Name(),
+			N:        n,
+			Trials:   trials,
+			BaseSeed: seed,
+			Proto:    proc.Proto,
+			Detector: proc.Detector,
+			Metric:   campaign.MetricSteps,
+			Expected: proc.Expected(n),
+		}
+		if initial != nil {
+			pt.Initial = func(int) (*core.Config, error) { return initial, nil }
+		}
+		points = append(points, pt)
+	}
+	series, err := sweep(proc.Proto.Name(), points)
+	if err != nil {
+		return Series{}, err
+	}
+	series.Theta = proc.Theta
+	for _, n := range sizes {
 		series.Expected = append(series.Expected, proc.Expected(n))
 	}
 	return series, nil
 }
 
-func measureProcessAt(proc processes.Process, n, trials int, seed uint64) (Measurement, error) {
-	needsOneA := proc.Proto.Name() == "One-Way-Epidemic" || proc.Proto.Name() == "Meet-Everybody"
-	times := make([]float64, 0, trials)
-	for t := 0; t < trials; t++ {
-		opts := core.Options{Seed: seed + uint64(t), Detector: proc.Detector}
-		if needsOneA {
-			initial, err := processes.InitialWithOneA(proc.Proto, n)
-			if err != nil {
-				return Measurement{}, err
-			}
-			opts.Initial = initial
-		}
-		res, err := core.Run(proc.Proto, n, opts)
-		if err != nil {
-			return Measurement{}, err
-		}
-		if !res.Converged {
-			return Measurement{}, fmt.Errorf("experiments: %s n=%d trial %d did not converge", proc.Proto.Name(), n, t)
-		}
-		// For the pure processes the detection step is the convergence
-		// step: the predicate flips exactly when the last conversion
-		// happens (which may be a node-state change, not an edge one).
-		times = append(times, float64(res.Steps))
-	}
-	s := stats.Summarize(times)
-	return Measurement{N: n, Mean: s.Mean, StdErr: s.StdErr(), Trials: trials}, nil
-}
-
 // MeasureProtocol sweeps a Table 2 constructor over sizes, reporting
 // the paper's convergence time (last output change).
 func MeasureProtocol(c protocols.Constructor, sizes []int, trials int, seed uint64) (Series, error) {
-	series := Series{Name: c.Proto.Name()}
+	return sweep(c.Proto.Name(), protocolPoints(c, sizes, trials, seed))
+}
+
+func protocolPoints(c protocols.Constructor, sizes []int, trials int, seed uint64) []campaign.Point {
+	points := make([]campaign.Point, 0, len(sizes))
 	for _, n := range sizes {
-		times := make([]float64, 0, trials)
-		for t := 0; t < trials; t++ {
-			res, err := core.Run(c.Proto, n, core.Options{Seed: seed + uint64(t), Detector: c.Detector})
-			if err != nil {
-				return Series{}, err
-			}
-			if !res.Converged {
-				return Series{}, fmt.Errorf("experiments: %s n=%d trial %d did not converge", c.Proto.Name(), n, t)
-			}
-			times = append(times, float64(res.ConvergenceTime))
-		}
-		s := stats.Summarize(times)
-		series.Points = append(series.Points, Measurement{N: n, Mean: s.Mean, StdErr: s.StdErr(), Trials: trials})
+		points = append(points, campaign.Point{
+			Protocol: c.Proto.Name(),
+			N:        n,
+			Trials:   trials,
+			BaseSeed: seed,
+			Proto:    c.Proto,
+			Detector: c.Detector,
+			Metric:   campaign.MetricConvergenceTime,
+		})
 	}
-	return series, nil
+	return points
 }
 
 // MeasureReplication sweeps Graph-Replication: for each n, the input
 // is a ring on ⌊n/2⌋ nodes replicated onto the other half.
 func MeasureReplication(sizes []int, trials int, seed uint64) (Series, error) {
 	c := protocols.GraphReplication()
-	series := Series{Name: c.Proto.Name()}
-	for _, n := range sizes {
-		g1 := graph.Ring(n / 2)
-		det := protocols.ReplicationDetector(g1)
-		times := make([]float64, 0, trials)
-		for t := 0; t < trials; t++ {
-			initial, err := protocols.ReplicationInitial(c.Proto, g1, n)
-			if err != nil {
-				return Series{}, err
-			}
-			res, err := core.Run(c.Proto, n, core.Options{
-				Seed:     seed + uint64(t),
-				Detector: det,
-				Initial:  initial,
-			})
-			if err != nil {
-				return Series{}, err
-			}
-			if !res.Converged {
-				return Series{}, fmt.Errorf("experiments: replication n=%d trial %d did not converge", n, t)
-			}
-			times = append(times, float64(res.ConvergenceTime))
-		}
-		s := stats.Summarize(times)
-		series.Points = append(series.Points, Measurement{N: n, Mean: s.Mean, StdErr: s.StdErr(), Trials: trials})
+	spec := campaign.Spec{Trials: trials, Seed: seed, Items: []campaign.Item{
+		{Kind: "replication", Sizes: sizes},
+	}}
+	points, err := spec.Compile()
+	if err != nil {
+		return Series{}, err
 	}
-	return series, nil
+	return sweep(c.Proto.Name(), points)
 }
 
 // Comparison holds the Section 7 Fast- vs Faster-Global-Line
@@ -161,20 +170,27 @@ type Comparison struct {
 	Faster []float64
 }
 
-// CompareLineProtocols measures both protocols on the same sweep.
+// CompareLineProtocols measures both protocols on the same sweep. The
+// two sweeps execute as a single campaign, so their runs interleave on
+// the worker pool.
 func CompareLineProtocols(sizes []int, trials int, seed uint64) (Comparison, error) {
+	fast := protocolPoints(protocols.FastGlobalLine(), sizes, trials, seed)
+	faster := protocolPoints(protocols.FasterGlobalLine(), sizes, trials, seed)
+	out, err := campaign.Execute(context.Background(), append(fast, faster...), campaign.Options{})
+	if err != nil {
+		return Comparison{}, err
+	}
 	cmp := Comparison{Sizes: sizes}
-	fast, err := MeasureProtocol(protocols.FastGlobalLine(), sizes, trials, seed)
-	if err != nil {
-		return Comparison{}, err
-	}
-	faster, err := MeasureProtocol(protocols.FasterGlobalLine(), sizes, trials, seed)
-	if err != nil {
-		return Comparison{}, err
-	}
-	for i := range sizes {
-		cmp.Fast = append(cmp.Fast, fast.Points[i].Mean)
-		cmp.Faster = append(cmp.Faster, faster.Points[i].Mean)
+	for i, agg := range out.Aggregates {
+		if agg.Failures > 0 {
+			return Comparison{}, fmt.Errorf("experiments: %s n=%d: %d of %d trials did not converge",
+				agg.Protocol, agg.N, agg.Failures, agg.Trials)
+		}
+		if i < len(sizes) {
+			cmp.Fast = append(cmp.Fast, agg.Mean)
+		} else {
+			cmp.Faster = append(cmp.Faster, agg.Mean)
+		}
 	}
 	return cmp, nil
 }

@@ -1,0 +1,50 @@
+package processes
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Registry maps process names (the Proto.Name of each Table 1 process)
+// to their Process values, for campaign specs and CLI tools.
+func Registry() map[string]Process {
+	reg := make(map[string]Process)
+	for _, proc := range All() {
+		reg[proc.Proto.Name()] = proc
+	}
+	return reg
+}
+
+// Names returns the sorted registry keys.
+func Names() []string {
+	reg := Registry()
+	names := make([]string, 0, len(reg))
+	for name := range reg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup fetches a registered process by name.
+func Lookup(name string) (Process, error) {
+	p, ok := Registry()[name]
+	if !ok {
+		return Process{}, fmt.Errorf("processes: unknown process %q (known: %v)", name, Names())
+	}
+	return p, nil
+}
+
+// Initial returns the initial configuration a measurement of this
+// process must start from, or nil when the default all-q0 configuration
+// is correct. One-Way-Epidemic and Meet-Everybody need one node in the
+// distinguished state a; every other Table 1 process starts uniform.
+func (p Process) Initial(n int) (*core.Config, error) {
+	switch p.Proto.Name() {
+	case "One-Way-Epidemic", "Meet-Everybody":
+		return InitialWithOneA(p.Proto, n)
+	}
+	return nil, nil
+}

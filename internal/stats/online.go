@@ -1,0 +1,99 @@
+package stats
+
+import "math"
+
+// Online is a single-pass (Welford) accumulator of sample statistics.
+// It is the streaming counterpart of Summarize: a collector can fold an
+// unbounded stream of observations into constant state and read off the
+// same summary fields at any point. Feeding the same values in the same
+// order always produces bit-identical results, which is what lets the
+// campaign runner promise worker-count-independent aggregates — its
+// collector replays completions in trial order before adding them here.
+type Online struct {
+	n    int
+	mean float64
+	m2   float64 // Σ (x − mean)² running sum of squared deviations
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (o *Online) Add(x float64) {
+	o.n++
+	if o.n == 1 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	d := x - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (x - o.mean)
+}
+
+// N returns the number of observations folded in so far.
+func (o *Online) N() int { return o.n }
+
+// Mean returns the running mean (0 with no observations).
+func (o *Online) Mean() float64 { return o.mean }
+
+// Min returns the smallest observation (0 with no observations).
+func (o *Online) Min() float64 { return o.min }
+
+// Max returns the largest observation (0 with no observations).
+func (o *Online) Max() float64 { return o.max }
+
+// Variance returns the sample variance (n−1 denominator), 0 for fewer
+// than two observations.
+func (o *Online) Variance() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (o *Online) StdDev() float64 { return math.Sqrt(o.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (o *Online) StdErr() float64 {
+	if o.n == 0 {
+		return 0
+	}
+	return o.StdDev() / math.Sqrt(float64(o.n))
+}
+
+// Summary snapshots the accumulator as a Summary, interchangeable with
+// Summarize's output (up to floating-point association order).
+func (o *Online) Summary() Summary {
+	return Summary{N: o.n, Mean: o.mean, StdDev: o.StdDev(), Min: o.min, Max: o.max}
+}
+
+// Merge folds the other accumulator into o using the parallel-variance
+// combination rule. Note that merging is not bit-for-bit equivalent to
+// sequential Adds — order-sensitive callers (the campaign collector)
+// should replay observations in a canonical order instead.
+func (o *Online) Merge(other Online) {
+	if other.n == 0 {
+		return
+	}
+	if o.n == 0 {
+		*o = other
+		return
+	}
+	if other.min < o.min {
+		o.min = other.min
+	}
+	if other.max > o.max {
+		o.max = other.max
+	}
+	n := float64(o.n + other.n)
+	d := other.mean - o.mean
+	o.m2 += other.m2 + d*d*float64(o.n)*float64(other.n)/n
+	o.mean += d * float64(other.n) / n
+	o.n += other.n
+}

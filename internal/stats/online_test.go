@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOnlineMatchesSummarize(t *testing.T) {
+	t.Parallel()
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3.5}
+	var o Online
+	for _, x := range xs {
+		o.Add(x)
+	}
+	want := Summarize(xs)
+	got := o.Summary()
+	if got.N != want.N || got.Min != want.Min || got.Max != want.Max {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+	if math.Abs(got.Mean-want.Mean) > 1e-12 || math.Abs(got.StdDev-want.StdDev) > 1e-12 {
+		t.Fatalf("mean/stddev drift: got %+v want %+v", got, want)
+	}
+	if math.Abs(o.StdErr()-want.StdErr()) > 1e-12 {
+		t.Fatalf("stderr %f want %f", o.StdErr(), want.StdErr())
+	}
+}
+
+func TestOnlineEmptyAndSingle(t *testing.T) {
+	t.Parallel()
+	var o Online
+	if o.N() != 0 || o.Mean() != 0 || o.StdDev() != 0 || o.StdErr() != 0 {
+		t.Fatalf("empty accumulator not zero: %+v", o)
+	}
+	o.Add(7)
+	if o.N() != 1 || o.Mean() != 7 || o.Min() != 7 || o.Max() != 7 || o.Variance() != 0 {
+		t.Fatalf("single-sample accumulator wrong: %+v", o)
+	}
+}
+
+func TestOnlineDeterministicReplay(t *testing.T) {
+	t.Parallel()
+	xs := []float64{1e9, 1, -1e9, 2.5, 1e-3, 42}
+	var a, b Online
+	for _, x := range xs {
+		a.Add(x)
+		b.Add(x)
+	}
+	if a != b {
+		t.Fatalf("same input order produced different state: %+v vs %+v", a, b)
+	}
+}
+
+func TestOnlineMerge(t *testing.T) {
+	t.Parallel()
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	var whole, left, right Online
+	for i, x := range xs {
+		whole.Add(x)
+		if i < len(xs)/2 {
+			left.Add(x)
+		} else {
+			right.Add(x)
+		}
+	}
+	left.Merge(right)
+	if left.N() != whole.N() || left.Min() != whole.Min() || left.Max() != whole.Max() {
+		t.Fatalf("merged %+v want %+v", left, whole)
+	}
+	if math.Abs(left.Mean()-whole.Mean()) > 1e-12 || math.Abs(left.Variance()-whole.Variance()) > 1e-9 {
+		t.Fatalf("merged moments drift: %+v want %+v", left, whole)
+	}
+	// Merging into an empty accumulator copies, and merging an empty
+	// one is a no-op.
+	var empty Online
+	empty.Merge(whole)
+	if empty != whole {
+		t.Fatalf("merge into empty: %+v want %+v", empty, whole)
+	}
+	before := whole
+	whole.Merge(Online{})
+	if whole != before {
+		t.Fatalf("merge of empty changed state: %+v want %+v", whole, before)
+	}
+}

@@ -11,7 +11,10 @@
 //	internal/check       exhaustive model checker for small populations
 //	internal/tm          Turing-machine substrate for Section 6
 //	internal/universal   the generic constructors (Theorems 14–18)
-//	internal/experiments sweeps shared by cmd/tables and the benchmarks
+//	internal/campaign    the concurrent sweep engine (worker pool,
+//	                     streaming aggregation, JSON/CSV export)
+//	internal/experiments sweeps shared by cmd/tables and the benchmarks,
+//	                     all routed through internal/campaign
 //
 // See README.md for a tour and EXPERIMENTS.md for paper-vs-measured
 // results. The benchmark harness in bench_test.go regenerates every
