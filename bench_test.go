@@ -11,8 +11,9 @@ package netcons_test
 //   - BenchmarkFasterVsFast   — the Section 7 experimental comparison;
 //   - BenchmarkUniversal/*    — the Section 6 generic constructors;
 //   - BenchmarkEngine/*       — raw simulator throughput
-//     (interactions/sec), the only benchmark about wall-clock speed
-//     rather than model steps.
+//     (interactions/sec);
+//   - BenchmarkFastVsBaseline — fast-engine vs baseline-loop wall
+//     clock on Simple-Global-Line up to n=1024 (engine_bench_test.go).
 //
 // Convergence times are reported via b.ReportMetric as "steps/op"
 // (model interactions, the unit the paper analyzes); wall-clock ns/op

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/core"
 	"repro/internal/processes"
 	"repro/internal/protocols"
 )
@@ -48,6 +49,7 @@ func run() error {
 		seed     = flag.Uint64("seed", 1, "base RNG seed")
 		sched    = flag.String("schedulers", "uniform", "comma-separated scheduler names")
 		metric   = flag.String("metric", "", "measured quantity (default: convergence-time for protocols, steps for processes)")
+		engine   = flag.String("engine", "auto", "execution path: auto, baseline, or fast")
 		maxSteps = flag.Int64("max-steps", 0, "per-run step budget (0 = per-n default)")
 		workers  = flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 0, "per-run wall-clock cap (0 = none)")
@@ -75,7 +77,7 @@ func run() error {
 		return fmt.Errorf("unknown format %q (known: json, csv)", *format)
 	}
 
-	spec, err := loadSpec(*specPath, *name, *kind, *sizes, *trials, *seed, *sched, *metric, *maxSteps)
+	spec, err := loadSpec(*specPath, *name, *kind, *sizes, *trials, *seed, *sched, *metric, *engine, *maxSteps)
 	if err != nil {
 		return err
 	}
@@ -136,9 +138,17 @@ func run() error {
 }
 
 // loadSpec reads the spec file or assembles a single-item spec from
-// flags.
-func loadSpec(specPath, name, kind, sizes string, trials int, seed uint64, sched, metric string, maxSteps int64) (campaign.Spec, error) {
+// flags. Spec files carry their own "engine" field, so combining
+// -spec with an explicit -engine is rejected rather than silently
+// ignored.
+func loadSpec(specPath, name, kind, sizes string, trials int, seed uint64, sched, metric, engine string, maxSteps int64) (campaign.Spec, error) {
+	if _, err := core.ParseEngine(engine); err != nil {
+		return campaign.Spec{}, err
+	}
 	if specPath != "" {
+		if engine != "" && engine != "auto" {
+			return campaign.Spec{}, fmt.Errorf("-engine cannot be combined with -spec; set the spec's \"engine\" field instead")
+		}
 		var r io.Reader = os.Stdin
 		if specPath != "-" {
 			f, err := os.Open(specPath)
@@ -163,6 +173,7 @@ func loadSpec(specPath, name, kind, sizes string, trials int, seed uint64, sched
 		Seed:       seed,
 		Schedulers: splitList(sched),
 		Metric:     metric,
+		Engine:     engine,
 		MaxSteps:   maxSteps,
 	}, nil
 }

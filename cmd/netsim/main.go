@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	netsim -protocol global-star -n 50 -trials 5 -seed 1 [-workers 4] [-dot]
+//	netsim -protocol global-star -n 50 -trials 5 -seed 1 [-workers 4] [-engine fast] [-dot]
 //	netsim -list
 package main
 
@@ -35,6 +35,7 @@ func run() error {
 		trials  = flag.Int("trials", 3, "independent runs")
 		seed    = flag.Uint64("seed", 1, "base RNG seed")
 		workers = flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
+		engine  = flag.String("engine", "auto", "execution path: auto, baseline, or fast")
 		dot     = flag.Bool("dot", false, "print the final network as Graphviz DOT")
 		list    = flag.Bool("list", false, "list registered protocols and exit")
 	)
@@ -55,8 +56,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("protocol %s (%d states) on n=%d, %d trial(s)\n",
-		c.Proto.Name(), c.Proto.Size(), *n, *trials)
+	eng, err := core.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("protocol %s (%d states) on n=%d, %d trial(s), %s engine\n",
+		c.Proto.Name(), c.Proto.Size(), *n, *trials, eng)
 
 	var lastConvergedSeed uint64
 	haveConverged := false
@@ -67,6 +72,7 @@ func run() error {
 		BaseSeed: *seed,
 		Proto:    c.Proto,
 		Detector: c.Detector,
+		Engine:   eng,
 		Metric:   campaign.MetricConvergenceTime,
 	}}, campaign.Options{
 		Workers: *workers,
@@ -91,9 +97,9 @@ func run() error {
 	}
 	if *dot && haveConverged {
 		// Replay the last converged trial sequentially — runs are
-		// deterministic in (protocol, n, seed), so this recovers the
-		// exact final configuration the campaign measured.
-		res, err := core.Run(c.Proto, *n, core.Options{Seed: lastConvergedSeed, Detector: c.Detector})
+		// deterministic in (protocol, n, seed, engine), so this recovers
+		// the exact final configuration the campaign measured.
+		res, err := core.Run(c.Proto, *n, core.Options{Seed: lastConvergedSeed, Engine: eng, Detector: c.Detector})
 		if err != nil {
 			return err
 		}

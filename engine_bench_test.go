@@ -1,0 +1,89 @@
+package netcons_test
+
+// BenchmarkFastVsBaseline measures the fast engine (enabled-pair index
+// + geometric step-skipping) against the baseline step-by-step loop on
+// Simple-Global-Line — the paper's Ω(n⁴) worst case, whose long
+// random-walk tail is almost entirely ineffective steps and therefore
+// the fast path's best and most representative customer:
+//
+//   - engine=baseline vs engine=fast rows run to convergence at
+//     n ∈ {64, 128, 256}; compare ns/op between the rows (steps/op
+//     confirms the two simulate the same law);
+//   - n ∈ {512, 1024} rows run the fast engine only — the baseline
+//     would need minutes per run at these sizes, which is the point;
+//   - the speedup row runs both engines back to back at n=256 and
+//     reports the wall-clock ratio directly as "speedup" (≥10× is the
+//     bar this optimisation was built to clear).
+//
+// Run it with:
+//
+//	go test -run '^$' -bench BenchmarkFastVsBaseline -benchtime 1x
+//
+// CI runs exactly that and uploads the test2json stream as the perf
+// trajectory artifact.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/protocols"
+)
+
+func runLine(b *testing.B, n int, engine core.Engine, seed uint64) core.Result {
+	b.Helper()
+	c := protocols.SimpleGlobalLine()
+	res, err := core.Run(c.Proto, n, core.Options{Seed: seed, Engine: engine, Detector: c.Detector})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !res.Converged {
+		b.Fatalf("n=%d engine=%s seed=%d did not converge", n, engine, seed)
+	}
+	return res
+}
+
+func BenchmarkFastVsBaseline(b *testing.B) {
+	for _, tc := range []struct {
+		n       int
+		engines []core.Engine
+	}{
+		{64, []core.Engine{core.EngineBaseline, core.EngineFast}},
+		{128, []core.Engine{core.EngineBaseline, core.EngineFast}},
+		{256, []core.Engine{core.EngineBaseline, core.EngineFast}},
+		{512, []core.Engine{core.EngineFast}},
+		{1024, []core.Engine{core.EngineFast}},
+	} {
+		tc := tc
+		for _, engine := range tc.engines {
+			engine := engine
+			b.Run(fmt.Sprintf("Simple-Global-Line/n=%d/engine=%s", tc.n, engine), func(b *testing.B) {
+				var steps, effective int64
+				for i := 0; i < b.N; i++ {
+					res := runLine(b, tc.n, engine, uint64(i)+1)
+					steps += res.Steps
+					effective += res.EffectiveSteps
+				}
+				b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
+				b.ReportMetric(float64(effective)/float64(b.N), "effective/op")
+			})
+		}
+	}
+
+	b.Run("Simple-Global-Line/n=256/speedup", func(b *testing.B) {
+		var baseline, fast time.Duration
+		for i := 0; i < b.N; i++ {
+			seed := uint64(i) + 1
+			start := time.Now()
+			runLine(b, 256, core.EngineBaseline, seed)
+			baseline += time.Since(start)
+			start = time.Now()
+			runLine(b, 256, core.EngineFast, seed)
+			fast += time.Since(start)
+		}
+		if fast > 0 {
+			b.ReportMetric(float64(baseline)/float64(fast), "speedup")
+		}
+	})
+}

@@ -1,0 +1,196 @@
+package netcons_test
+
+// TestEngineEquivalence is the distributional-equivalence suite for
+// the fast engine: every registered protocol and every Table 1 process
+// runs under the uniform scheduler on BOTH engines across many seeds,
+// and the suites must agree on
+//
+//   - convergence semantics: every trial converges on both engines
+//     (and no trial stops), and
+//   - the law of the measured metric: the two means must sit within a
+//     5σ combined-standard-error band of one another.
+//
+// The engines are deterministic per seed but consume randomness
+// differently, so individual runs differ; the geometric-skip argument
+// (see ARCHITECTURE.md) promises equality in distribution, which is
+// what this asserts. Seeds are fixed, so the test itself is fully
+// deterministic — a failure means a real law change, not noise.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/processes"
+	"repro/internal/protocols"
+)
+
+// equivalencePoints returns the grid the suite sweeps: every registry
+// protocol at a small-but-nontrivial population, and every registered
+// process (their detection step is the measured metric).
+// Degree-doubling needs its non-uniform initial configuration, so its
+// point is built by hand rather than through the spec path.
+func equivalencePoints(t *testing.T, trials int) []campaign.Point {
+	t.Helper()
+	sizes := map[string]int{
+		"simple-global-line": 10,
+		"fast-global-line":   12,
+		"faster-global-line": 12,
+		"spanning-net":       16,
+		"cycle-cover":        16,
+		"global-star":        16,
+		"global-ring":        8,
+		"2rc":                8,
+		"3rc":                9,
+		"4rc":                9,
+		"3-cliques":          9,
+		"4-cliques":          8,
+		"degree-doubling":    12, // needs n ≥ 2³+1 for the registered d=3
+	}
+	var points []campaign.Point
+	for _, name := range protocols.Names() {
+		c, err := protocols.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, ok := sizes[name]
+		if !ok {
+			n = 8 // new registry entries get a conservative default
+		}
+		pt := campaign.Point{
+			Protocol: name, N: n, Trials: trials, BaseSeed: 1,
+			Proto: c.Proto, Detector: c.Detector, Metric: campaign.MetricConvergenceTime,
+		}
+		if name == "degree-doubling" {
+			initial, err := protocols.DegreeDoublingInitial(c.Proto, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pt.Initial = func(int) (*core.Config, error) { return initial, nil }
+		}
+		points = append(points, pt)
+	}
+	for _, name := range processes.Names() {
+		proc, err := processes.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 32
+		pt := campaign.Point{
+			Protocol: name, N: n, Trials: trials, BaseSeed: 1,
+			Proto: proc.Proto, Detector: proc.Detector, Metric: campaign.MetricSteps,
+		}
+		initial, err := proc.Initial(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if initial != nil {
+			pt.Initial = func(int) (*core.Config, error) { return initial, nil }
+		}
+		points = append(points, pt)
+	}
+	return points
+}
+
+func TestEngineEquivalence(t *testing.T) {
+	t.Parallel()
+	trials := 48
+	if testing.Short() {
+		trials = 16
+	}
+
+	execute := func(engine core.Engine) []campaign.Aggregate {
+		t.Helper()
+		points := equivalencePoints(t, trials)
+		for i := range points {
+			points[i].Engine = engine
+		}
+		out, err := campaign.Execute(context.Background(), points, campaign.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Aggregates
+	}
+
+	base := execute(core.EngineBaseline)
+	fast := execute(core.EngineFast)
+	if len(base) != len(fast) {
+		t.Fatalf("aggregate count mismatch: %d vs %d", len(base), len(fast))
+	}
+	for i := range base {
+		b, f := base[i], fast[i]
+		name := fmt.Sprintf("%s/n=%d", b.Protocol, b.N)
+		t.Run(name, func(t *testing.T) {
+			if b.Converged != b.Trials || b.Failures != 0 || b.Stopped != 0 {
+				t.Fatalf("baseline convergence semantics: %+v", b)
+			}
+			if f.Converged != f.Trials || f.Failures != 0 || f.Stopped != 0 {
+				t.Fatalf("fast convergence semantics: %+v", f)
+			}
+			diff := math.Abs(b.Mean - f.Mean)
+			bound := 5 * math.Hypot(b.StdErr, f.StdErr)
+			if diff > bound {
+				t.Fatalf("means diverged: baseline %.1f±%.1f vs fast %.1f±%.1f (|Δ|=%.1f > 5σ=%.1f)",
+					b.Mean, b.StdErr, f.Mean, f.StdErr, diff, bound)
+			}
+		})
+	}
+}
+
+// TestEngineEquivalenceSecondaryMetrics repeats the comparison for the
+// remaining step-count metrics on two contrasting workloads: an
+// edge-heavy quiescent constructor and a node-state-heavy line
+// builder. ConvergenceTime is covered by the main suite.
+func TestEngineEquivalenceSecondaryMetrics(t *testing.T) {
+	t.Parallel()
+	trials := 48
+	if testing.Short() {
+		trials = 16
+	}
+	metrics := map[string]campaign.Metric{
+		"steps":           campaign.MetricSteps,
+		"effective-steps": campaign.MetricEffectiveSteps,
+		"edge-changes":    campaign.MetricEdgeChanges,
+	}
+	subjects := []struct {
+		name string
+		c    protocols.Constructor
+		n    int
+	}{
+		{"cycle-cover", protocols.CycleCover(), 16},
+		{"simple-global-line", protocols.SimpleGlobalLine(), 10},
+	}
+	for metricName, metric := range metrics {
+		for _, sub := range subjects {
+			metricName, metric, sub := metricName, metric, sub
+			t.Run(fmt.Sprintf("%s/%s", sub.name, metricName), func(t *testing.T) {
+				t.Parallel()
+				aggregate := func(engine core.Engine) campaign.Aggregate {
+					t.Helper()
+					out, err := campaign.Execute(context.Background(), []campaign.Point{{
+						Protocol: sub.name, N: sub.n, Trials: trials, BaseSeed: 1,
+						Proto: sub.c.Proto, Detector: sub.c.Detector,
+						Engine: engine, Metric: metric,
+					}}, campaign.Options{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return out.Aggregates[0]
+				}
+				b, f := aggregate(core.EngineBaseline), aggregate(core.EngineFast)
+				if b.Converged != trials || f.Converged != trials {
+					t.Fatalf("convergence mismatch: baseline %d, fast %d of %d", b.Converged, f.Converged, trials)
+				}
+				diff := math.Abs(b.Mean - f.Mean)
+				bound := 5 * math.Hypot(b.StdErr, f.StdErr)
+				if diff > bound {
+					t.Fatalf("%s means diverged: baseline %.1f±%.1f vs fast %.1f±%.1f",
+						metricName, b.Mean, b.StdErr, f.Mean, f.StdErr)
+				}
+			})
+		}
+	}
+}

@@ -81,6 +81,12 @@ type Point struct {
 	MaxSteps      int64
 	CheckInterval int64
 
+	// Engine selects the core execution path for this point's runs;
+	// the zero value core.EngineAuto picks the fast enabled-pair-index
+	// engine under the uniform scheduler and the baseline loop
+	// otherwise.
+	Engine core.Engine
+
 	// Metric extracts the measured value; nil means
 	// MetricConvergenceTime.
 	Metric Metric
@@ -121,6 +127,7 @@ type RunRecord struct {
 	Scheduler       string  `json:"scheduler"`
 	Trial           int     `json:"trial"`
 	Seed            uint64  `json:"seed"`
+	Engine          string  `json:"engine,omitempty"`
 	Converged       bool    `json:"converged"`
 	Stopped         bool    `json:"stopped,omitempty"`
 	Steps           int64   `json:"steps"`
@@ -379,6 +386,7 @@ func runTrial(ctx context.Context, pt *Point, pointIdx, trial int, timeout time.
 	}
 	opts := core.Options{
 		Seed:          rec.Seed,
+		Engine:        pt.Engine,
 		Detector:      pt.Detector,
 		MaxSteps:      pt.MaxSteps,
 		CheckInterval: pt.CheckInterval,
@@ -418,6 +426,7 @@ func runTrial(ctx context.Context, pt *Point, pointIdx, trial int, timeout time.
 		rec.Err = err.Error()
 		return rec
 	}
+	rec.Engine = res.Engine.String()
 	rec.Converged = res.Converged
 	rec.Stopped = res.Stopped
 	rec.Steps = res.Steps
@@ -449,6 +458,7 @@ func Mean(p *core.Protocol, n, trials int, seed uint64, opts core.Options) (mean
 		Detector:      opts.Detector,
 		MaxSteps:      opts.MaxSteps,
 		CheckInterval: opts.CheckInterval,
+		Engine:        opts.Engine,
 		Observer:      opts.Observer,
 		Stop:          opts.Stop,
 	}

@@ -60,7 +60,7 @@ func WriteRunsJSON(w io.Writer, runs []RunRecord) error {
 func WriteRunsCSV(w io.Writer, runs []RunRecord) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
-		"point", "protocol", "n", "scheduler", "trial", "seed",
+		"point", "protocol", "n", "scheduler", "trial", "seed", "engine",
 		"converged", "stopped", "steps", "convergence_time",
 		"effective_steps", "edge_changes", "value", "duration_ns", "err",
 	}); err != nil {
@@ -74,6 +74,7 @@ func WriteRunsCSV(w io.Writer, runs []RunRecord) error {
 			r.Scheduler,
 			strconv.Itoa(r.Trial),
 			strconv.FormatUint(r.Seed, 10),
+			r.Engine,
 			strconv.FormatBool(r.Converged),
 			strconv.FormatBool(r.Stopped),
 			strconv.FormatInt(r.Steps, 10),

@@ -42,6 +42,10 @@ type Spec struct {
 	// MaxSteps caps each run's interactions; 0 means the engine's
 	// per-n default budget.
 	MaxSteps int64 `json:"max_steps,omitempty"`
+	// Engine selects the core execution path: "auto" (default; the
+	// fast enabled-pair-index engine under the uniform scheduler, the
+	// baseline loop otherwise), "baseline", or "fast".
+	Engine string `json:"engine,omitempty"`
 }
 
 // Item is one row of a spec grid: a named protocol or process swept
@@ -55,10 +59,11 @@ type Item struct {
 	Kind string `json:"kind,omitempty"`
 	// Sizes is the population sweep for this item.
 	Sizes []int `json:"sizes"`
-	// Trials and Metric, when set, override the spec-level values for
-	// this item.
+	// Trials, Metric and Engine, when set, override the spec-level
+	// values for this item.
 	Trials int    `json:"trials,omitempty"`
 	Metric string `json:"metric,omitempty"`
+	Engine string `json:"engine,omitempty"`
 }
 
 // ParseSpec decodes a JSON spec, rejecting unknown fields.
@@ -133,11 +138,22 @@ func (s Spec) Compile() ([]Point, error) {
 		if metricName == "" {
 			metricName = s.Metric
 		}
+		engineName := item.Engine
+		if engineName == "" {
+			engineName = s.Engine
+		}
+		engine, err := core.ParseEngine(engineName)
+		if err != nil {
+			return nil, err
+		}
 		for _, n := range item.Sizes {
 			for _, schedName := range schedulers {
 				factory, err := SchedulerFactory(schedName)
 				if err != nil {
 					return nil, err
+				}
+				if engine == core.EngineFast && factory != nil {
+					return nil, fmt.Errorf("campaign: item %d (%q): the fast engine requires the uniform scheduler, not %q", i, item.Name, schedName)
 				}
 				pt := Point{
 					N:            n,
@@ -145,6 +161,7 @@ func (s Spec) Compile() ([]Point, error) {
 					Trials:       trials,
 					BaseSeed:     s.Seed,
 					MaxSteps:     s.MaxSteps,
+					Engine:       engine,
 					NewScheduler: factory,
 				}
 				if pt.Scheduler == "" {

@@ -127,10 +127,7 @@ func RunDyn(p *DynProtocol, n int, opts DynOptions) (DynResult, error) {
 	}
 	interval := opts.CheckInterval
 	if interval <= 0 {
-		interval = int64(n) * int64(n)
-		if interval < 1024 {
-			interval = 1024
-		}
+		interval = DefaultCheckInterval(n)
 	}
 	rng := NewRNG(opts.Seed)
 	res := DynResult{Final: cfg}

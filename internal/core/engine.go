@@ -22,6 +22,25 @@ const (
 	TriggerInterval
 )
 
+// Gate declares that a detector's Stable predicate is equivalent to a
+// counter condition the fast engine maintains incrementally, letting
+// the fast path answer it in O(1) instead of running the O(n²) scan.
+// The baseline engine ignores gates and always calls Stable.
+type Gate int
+
+// Gate values.
+const (
+	// GateNone means Stable must be called; the default for custom
+	// detectors.
+	GateNone Gate = iota
+	// GateQuiescence marks Stable ⇔ Config.Quiescent — answered by
+	// "no enabled pairs" on the fast path.
+	GateQuiescence
+	// GateEdgeQuiescence marks Stable ⇔ Config.EdgeQuiescent — answered
+	// by "no edge-effective enabled pairs" on the fast path.
+	GateEdgeQuiescence
+)
+
 // Detector decides when a run has stabilized. Stable must return true
 // only for configurations whose output graph provably never changes
 // again under the protocol (the paper proves such predicates for every
@@ -29,16 +48,23 @@ const (
 type Detector struct {
 	Stable  func(cfg *Config) bool
 	Trigger Trigger
+	// Gate, when non-zero, lets the fast engine replace Stable with an
+	// equivalent O(1) counter check. Set it only when the equivalence is
+	// exact; the prebuilt quiescence detectors do.
+	Gate Gate
 }
 
 // QuiescenceDetector detects full quiescence: no effective transition
 // applies to any pair. Sufficient for protocols whose stable
 // configurations are completely silent (Global-Star, Cycle-Cover, all
-// Section 3.3 processes).
+// Section 3.3 processes). The baseline engine evaluates it with the
+// O(n²) scan every check interval; the fast engine answers it from the
+// enabled-pair count in O(1).
 func QuiescenceDetector() Detector {
 	return Detector{
 		Stable:  func(cfg *Config) bool { return cfg.Quiescent() },
 		Trigger: TriggerInterval,
+		Gate:    GateQuiescence,
 	}
 }
 
@@ -46,27 +72,38 @@ func QuiescenceDetector() Detector {
 // transition changes an edge. This is not sufficient for stability in
 // general (later node-state changes may re-enable edge changes), so use
 // it only for protocols where edge quiescence is known to be absorbing.
+// Like QuiescenceDetector it is an O(1) gate on the fast path.
 func EdgeQuiescenceDetector() Detector {
 	return Detector{
 		Stable:  func(cfg *Config) bool { return cfg.EdgeQuiescent() },
 		Trigger: TriggerInterval,
+		Gate:    GateEdgeQuiescence,
 	}
 }
 
 // Options configures a run.
 type Options struct {
 	// Seed feeds the deterministic RNG. Runs with equal
-	// (protocol, n, seed, scheduler) are identical.
+	// (protocol, n, seed, scheduler, engine) are identical; the two
+	// engines consume randomness differently, so they agree in
+	// distribution, not step for step.
 	Seed uint64
 	// Scheduler defaults to the uniform random scheduler.
 	Scheduler Scheduler
+	// Engine selects the execution path. The default EngineAuto uses
+	// the fast enabled-pair-index engine under the uniform scheduler
+	// for populations up to 4096 (the index costs Θ(n²) memory) and
+	// the baseline loop otherwise; EngineBaseline and EngineFast force
+	// a path (forcing fast under a non-uniform scheduler is an error).
+	Engine Engine
 	// Detector defaults to QuiescenceDetector.
 	Detector Detector
 	// MaxSteps aborts the run (Converged=false) when exceeded.
 	// Defaults to DefaultMaxSteps(n).
 	MaxSteps int64
-	// CheckInterval is the period of TriggerInterval detection; 0 means
-	// max(1024, n²).
+	// CheckInterval is the period, in scheduler steps, of both
+	// TriggerInterval detection and Stop polling; 0 means
+	// DefaultCheckInterval(n).
 	CheckInterval int64
 	// Initial, when non-nil, replaces the all-q0 initial configuration
 	// (e.g. Graph-Replication's input graph). It is cloned, not
@@ -74,11 +111,11 @@ type Options struct {
 	Initial *Config
 	// Observer, when non-nil, receives every effective step.
 	Observer Observer
-	// Stop, when non-nil, is polled once immediately and then every
-	// CheckInterval steps; when it returns true the run aborts early
-	// with Converged=false and Stopped=true. It is how callers plug in
-	// context cancellation and per-run deadlines at the cost of a
-	// single counter decrement per step.
+	// Stop, when non-nil, is polled once immediately and then
+	// periodically (every CheckInterval steps on the baseline engine,
+	// every landing on the fast engine); when it returns true the run
+	// aborts early with Converged=false and Stopped=true. It is how
+	// callers plug in context cancellation and per-run deadlines.
 	Stop func() bool
 }
 
@@ -109,6 +146,9 @@ type Result struct {
 	EffectiveSteps int64
 	// EdgeChanges counts steps on which an edge changed.
 	EdgeChanges int64
+	// Engine records the execution path that produced this result
+	// (never EngineAuto).
+	Engine Engine
 	// Final is the final configuration.
 	Final *Config
 }
@@ -140,8 +180,24 @@ func DefaultMaxSteps(n int) int64 {
 	return budget
 }
 
+// DefaultCheckInterval returns the period, in scheduler steps, at
+// which interval-triggered detectors and Options.Stop are polled when
+// Options.CheckInterval is zero: max(1024, n²). The n² term amortizes
+// an O(n²) stability scan to O(1) per step; the floor keeps tiny
+// populations from polling every few steps. Run, the fast engine and
+// RunDyn all share this helper, so the default cannot drift between
+// paths.
+func DefaultCheckInterval(n int) int64 {
+	interval := int64(n) * int64(n)
+	if interval < 1024 {
+		interval = 1024
+	}
+	return interval
+}
+
 // Run executes the protocol on n nodes until the detector reports
-// stability or the step budget is exhausted.
+// stability or the step budget is exhausted, dispatching to the
+// execution path selected by Options.Engine.
 func Run(p *Protocol, n int, opts Options) (Result, error) {
 	if n < 1 {
 		return Result{}, errors.New("core: population size must be ≥ 1")
@@ -163,6 +219,26 @@ func Run(p *Protocol, n int, opts Options) (Result, error) {
 	if sched == nil {
 		sched = UniformScheduler{}
 	}
+	engine := opts.Engine
+	switch engine {
+	case EngineAuto:
+		if uniformSchedule(sched) && n <= maxAutoIndexNodes {
+			engine = EngineFast
+		} else {
+			engine = EngineBaseline
+		}
+	case EngineBaseline:
+	case EngineFast:
+		if !uniformSchedule(sched) {
+			return Result{}, fmt.Errorf("core: the fast engine requires the uniform scheduler, not %q", sched.Name())
+		}
+		if n >= maxIndexNodes {
+			return Result{}, fmt.Errorf("core: the fast engine supports populations below %d, got %d", maxIndexNodes, n)
+		}
+	default:
+		return Result{}, fmt.Errorf("core: unknown engine %d", int(opts.Engine))
+	}
+
 	det := opts.Detector
 	if det.Stable == nil {
 		det = QuiescenceDetector()
@@ -173,20 +249,50 @@ func Run(p *Protocol, n int, opts Options) (Result, error) {
 	}
 	interval := opts.CheckInterval
 	if interval <= 0 {
-		interval = int64(n) * int64(n)
-		if interval < 1024 {
-			interval = 1024
-		}
+		interval = DefaultCheckInterval(n)
 	}
 
 	rng := NewRNG(opts.Seed)
-	res := Result{Final: cfg}
 
-	if n == 1 || det.Stable(cfg) {
+	if stable := det.Stable(cfg); n == 1 || stable {
 		// Already stable (or no pairs exist to ever interact).
-		res.Converged = det.Stable(cfg)
-		return res, nil
+		return Result{Final: cfg, Engine: engine, Converged: stable}, nil
 	}
+
+	if engine == EngineFast {
+		return runFast(p, cfg, det, opts, maxSteps, interval, rng)
+	}
+	return runBaseline(p, cfg, det, opts, sched, maxSteps, interval, rng)
+}
+
+// recordEffective folds one effective step into the run metrics and
+// notifies the observer. runBaseline and runFast share it so the
+// output-change rule cannot drift between the engines.
+func recordEffective(res *Result, p *Protocol, cfg *Config, obs Observer, step int64, u, v int, beforeU, beforeV State, edgeChanged bool) {
+	res.EffectiveSteps++
+	// The output graph changes when an edge between two output nodes
+	// changes, or when a node enters or leaves Qout.
+	outputChanged := edgeChanged && p.IsOutput(cfg.Node(u)) && p.IsOutput(cfg.Node(v))
+	if !outputChanged {
+		outputChanged = p.IsOutput(beforeU) != p.IsOutput(cfg.Node(u)) ||
+			p.IsOutput(beforeV) != p.IsOutput(cfg.Node(v))
+	}
+	if edgeChanged {
+		res.EdgeChanges++
+	}
+	if outputChanged {
+		res.ConvergenceTime = step
+	}
+	if obs != nil {
+		obs.ObserveStep(step, u, v, edgeChanged, cfg)
+	}
+}
+
+// runBaseline simulates every scheduler draw individually. It is the
+// reference implementation the fast engine is measured against, and
+// the only path that supports non-uniform schedulers.
+func runBaseline(p *Protocol, cfg *Config, det Detector, opts Options, sched Scheduler, maxSteps, interval int64, rng *RNG) (Result, error) {
+	res := Result{Final: cfg, Engine: EngineBaseline}
 
 	// Stop is polled on a countdown (first poll before the first step,
 	// then every interval steps) so the hot loop pays one decrement,
@@ -211,23 +317,7 @@ func Run(p *Protocol, n int, opts Options) (Result, error) {
 		beforeU, beforeV := cfg.Node(u), cfg.Node(v)
 		effective, edgeChanged := cfg.Apply(u, v, rng)
 		if effective {
-			res.EffectiveSteps++
-			// The output graph changes when an edge between two output
-			// nodes changes, or when a node enters or leaves Qout.
-			outputChanged := edgeChanged && p.IsOutput(cfg.Node(u)) && p.IsOutput(cfg.Node(v))
-			if !outputChanged {
-				outputChanged = p.IsOutput(beforeU) != p.IsOutput(cfg.Node(u)) ||
-					p.IsOutput(beforeV) != p.IsOutput(cfg.Node(v))
-			}
-			if edgeChanged {
-				res.EdgeChanges++
-			}
-			if outputChanged {
-				res.ConvergenceTime = step
-			}
-			if opts.Observer != nil {
-				opts.Observer.ObserveStep(step, u, v, edgeChanged, cfg)
-			}
+			recordEffective(&res, p, cfg, opts.Observer, step, u, v, beforeU, beforeV, edgeChanged)
 		}
 
 		check := false
@@ -250,8 +340,3 @@ func Run(p *Protocol, n int, opts Options) (Result, error) {
 	res.Steps = maxSteps
 	return res, nil
 }
-
-// Mean was the package's sequential multi-trial helper; it moved to
-// repro/internal/campaign (campaign.Mean), which runs the trials on a
-// worker pool and aggregates them through the same reduction as every
-// other sweep.

@@ -1,0 +1,188 @@
+package core
+
+import "fmt"
+
+// Engine selects the execution path of Run.
+type Engine int
+
+// Engine values. EngineAuto picks the fast path whenever the schedule
+// is the uniform random scheduler (the only schedule whose law the
+// skip-sampling argument covers) and the population fits the index;
+// the explicit values force one path, which is how the equivalence
+// suite and the speedup benchmarks pin their subjects down.
+const (
+	// EngineAuto lets Run choose: fast under the uniform scheduler,
+	// baseline otherwise.
+	EngineAuto Engine = iota
+	// EngineBaseline forces the step-by-step loop that simulates every
+	// scheduler draw individually.
+	EngineBaseline
+	// EngineFast forces the enabled-pair-index engine; Run errors if the
+	// configured scheduler is not uniform.
+	EngineFast
+)
+
+// String returns the engine's flag/spec name.
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineBaseline:
+		return "baseline"
+	case EngineFast:
+		return "fast"
+	default:
+		return fmt.Sprintf("engine#%d", int(e))
+	}
+}
+
+// ParseEngine resolves a flag/spec name ("auto", "baseline", "fast";
+// "" means auto) to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "auto":
+		return EngineAuto, nil
+	case "baseline":
+		return EngineBaseline, nil
+	case "fast":
+		return EngineFast, nil
+	default:
+		return EngineAuto, fmt.Errorf("core: unknown engine %q (known: auto, baseline, fast)", s)
+	}
+}
+
+// uniformSchedule reports whether sched draws every pair independently
+// and uniformly each step — the precondition for the fast path.
+func uniformSchedule(sched Scheduler) bool {
+	switch sched.(type) {
+	case UniformScheduler, *UniformScheduler:
+		return true
+	default:
+		return false
+	}
+}
+
+// nextCheck returns the first TriggerInterval check point strictly
+// after step.
+func nextCheck(step, interval int64) int64 {
+	return (step/interval + 1) * interval
+}
+
+// runFast is the enabled-pair-index engine. It reproduces the law of
+// the baseline loop under the uniform scheduler without simulating the
+// ineffective steps:
+//
+//   - each scheduler draw hits an enabled pair with probability
+//     m/|E_I| (m enabled pairs of n(n−1)/2), independently per step, so
+//     the run of misses before the next enabled hit is
+//     Geometric(m/|E_I|) — drawn in O(1) instead of simulated;
+//   - conditioned on hitting an enabled pair, the pair is uniform over
+//     the enabled set — sampled in O(1) from the index;
+//   - skipped steps are exactly the draws on disabled pairs, which by
+//     definition change nothing, so every metric (ConvergenceTime,
+//     EffectiveSteps, EdgeChanges) and every observer callback sees the
+//     same distribution over (step, pair, outcome) sequences;
+//   - between two landings the configuration is frozen, so an
+//     interval-triggered detector whose predicate holds fires at the
+//     next multiple of the check interval — computed, not simulated —
+//     which preserves the law of Result.Steps as well.
+//
+// Detectors carrying a Gate are evaluated from the index's O(1)
+// counters instead of their O(n²) scan predicate.
+//
+// The caller (Run) has already resolved defaults, cloned the initial
+// configuration, and handled the trivial already-stable cases.
+func runFast(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, interval int64, rng *RNG) (Result, error) {
+	n := cfg.n
+	res := Result{Final: cfg, Engine: EngineFast}
+	ix := NewPairIndex(cfg)
+	total := float64(pairCount(n))
+
+	stable := func() bool {
+		switch det.Gate {
+		case GateQuiescence:
+			return ix.Quiescent()
+		case GateEdgeQuiescence:
+			return ix.EdgeQuiescent()
+		default:
+			return det.Stable(cfg)
+		}
+	}
+
+	var step int64
+	for step < maxSteps {
+		// The baseline polls Stop every interval steps; here every loop
+		// iteration advances at least one landing (or ends the run), so
+		// polling per iteration is at least as responsive at negligible
+		// relative cost.
+		if opts.Stop != nil && opts.Stop() {
+			res.Stopped = true
+			res.Steps = step
+			return res, nil
+		}
+
+		// Next landing: skip the geometric run of draws that hit
+		// disabled pairs. land = maxSteps+1 encodes "no landing within
+		// budget" (also the enabled == 0 case: nothing can ever change
+		// again).
+		land := maxSteps + 1
+		if m := ix.Enabled(); m > 0 {
+			if skip := rng.Geometric(float64(m) / total); skip < maxSteps-step {
+				land = step + skip + 1
+			}
+		}
+
+		// Between step and the landing the configuration is frozen: an
+		// interval detector whose predicate holds now fires at the next
+		// check point, exactly as the baseline would. The cheap
+		// check-point guard runs first so an ungated (possibly O(n²))
+		// predicate is only evaluated when a grid point actually
+		// precedes the landing — dense phases never pay for it.
+		if det.Trigger == TriggerInterval {
+			if s := nextCheck(step, interval); s <= maxSteps && s < land && stable() {
+				res.Converged = true
+				res.Steps = s
+				return res, nil
+			}
+		}
+		if land > maxSteps {
+			res.Steps = maxSteps
+			return res, nil
+		}
+
+		step = land
+		u, v := ix.Sample(rng)
+		beforeU, beforeV := cfg.nodes[u], cfg.nodes[v]
+		// An enabled pair can still take an ineffective probabilistic
+		// branch; that matches the baseline, which also counts such
+		// steps as ineffective.
+		effective, edgeChanged := cfg.Apply(u, v, rng)
+		if effective {
+			if cfg.nodes[u] == beforeU && cfg.nodes[v] == beforeV {
+				ix.UpdateEdge(u, v) // edge-only transition: O(1)
+			} else {
+				ix.Update(u, v)
+			}
+			recordEffective(&res, p, cfg, opts.Observer, step, u, v, beforeU, beforeV, edgeChanged)
+		}
+
+		check := false
+		switch det.Trigger {
+		case TriggerEffective:
+			check = effective
+		case TriggerEdge:
+			check = edgeChanged
+		case TriggerInterval:
+			check = step%interval == 0
+		default:
+			check = effective
+		}
+		if check && stable() {
+			res.Converged = true
+			res.Steps = step
+			return res, nil
+		}
+	}
+	res.Steps = maxSteps
+	return res, nil
+}

@@ -1,0 +1,168 @@
+package core
+
+import "fmt"
+
+// maxIndexNodes bounds the population size the enabled-pair index can
+// represent: pairs are packed into a uint32 as u<<16|v, so both
+// endpoints must fit in 16 bits.
+const maxIndexNodes = 1 << 16
+
+// maxAutoIndexNodes bounds EngineAuto's fast-path selection. The index
+// costs Θ(n²) words (≈8 bytes per pair: pos plus list) against the
+// baseline's one bit per pair, so auto-selection stops where the index
+// stays comfortably in the tens of megabytes (n=4096 ≈ 100 MB);
+// explicitly requesting EngineFast accepts the memory cost up to the
+// packing limit.
+const maxAutoIndexNodes = 1 << 12
+
+// PairIndex is an incremental index of the configuration's *enabled*
+// pairs: the unordered pairs {u, v} on which the protocol has an
+// effective transition (Protocol.EffectiveOn over the two node states
+// and the edge bit). It is the data structure behind the fast engine:
+//
+//   - membership is maintained in O(n) per effective step by rescanning
+//     only the pairs incident to the two touched nodes (no other pair's
+//     states or edge changed, so no other pair's enabledness changed);
+//   - the enabled count makes full quiescence an O(1) gate
+//     (Enabled() == 0 ⇔ Config.Quiescent()), and a parallel count of
+//     edge-effective pairs does the same for edge quiescence;
+//   - Sample draws a uniformly random enabled pair in O(1), which —
+//     combined with a geometric skip over the ineffective steps — lets
+//     the uniform scheduler's law be simulated without touching the
+//     disabled pairs at all.
+//
+// A PairIndex is bound to the Config it was built from and must be
+// notified (Update) after every interaction the caller applies;
+// mutating the Config behind its back (SetNode/SetEdge) invalidates it.
+// It is not safe for concurrent use.
+type PairIndex struct {
+	cfg *Config
+	// list densely packs the enabled pairs as u<<16|v (u < v); pos maps
+	// a pair's triangular index to its slot in list, −1 when disabled.
+	list []uint32
+	pos  []int32
+	// edgeBits marks the enabled pairs whose transition would (or, for
+	// probabilistic rules, could) change the edge; edgeEnabled counts
+	// them, making EdgeQuiescent an O(1) gate too.
+	edgeBits    bitset
+	edgeEnabled int
+}
+
+// NewPairIndex builds the index for the configuration's current state
+// with one full O(n²) scan — the same cost as a single Quiescent()
+// call, paid once instead of at every detection poll. The population
+// must be below maxIndexNodes.
+func NewPairIndex(cfg *Config) *PairIndex {
+	n := cfg.n
+	if n >= maxIndexNodes {
+		panic(fmt.Sprintf("core: PairIndex supports populations below %d, got %d", maxIndexNodes, n))
+	}
+	ix := &PairIndex{
+		cfg:      cfg,
+		pos:      make([]int32, pairCount(n)),
+		edgeBits: newBitset(pairCount(n)),
+	}
+	for i := range ix.pos {
+		ix.pos[i] = -1
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			ix.refresh(u, v)
+		}
+	}
+	return ix
+}
+
+// Enabled returns the number of currently enabled pairs.
+func (ix *PairIndex) Enabled() int { return len(ix.list) }
+
+// EdgeEnabled returns the number of enabled pairs whose transition can
+// change an edge.
+func (ix *PairIndex) EdgeEnabled() int { return ix.edgeEnabled }
+
+// Quiescent reports full quiescence in O(1); it always agrees with the
+// O(n²) Config.Quiescent scan.
+func (ix *PairIndex) Quiescent() bool { return len(ix.list) == 0 }
+
+// EdgeQuiescent reports edge quiescence in O(1); it always agrees with
+// the O(n²) Config.EdgeQuiescent scan.
+func (ix *PairIndex) EdgeQuiescent() bool { return ix.edgeEnabled == 0 }
+
+// Contains reports whether the pair {u, v} is currently enabled.
+func (ix *PairIndex) Contains(u, v int) bool {
+	return ix.pos[pairIndex(ix.cfg.n, u, v)] >= 0
+}
+
+// Sample returns a uniformly random enabled pair in random orientation
+// (matching the orientation law of RNG.Pair, which matters only for
+// probabilistic rules with asymmetric branches). It must not be called
+// when Enabled() is zero.
+func (ix *PairIndex) Sample(rng *RNG) (u, v int) {
+	p := ix.list[rng.IntN(len(ix.list))]
+	u, v = int(p>>16), int(p&0xffff)
+	if rng.Coin() {
+		u, v = v, u
+	}
+	return u, v
+}
+
+// Update refreshes the index after an interaction was applied to the
+// pair {u, v}: only the states of u and v and the edge {u, v} can have
+// changed, so only the 2n−3 pairs incident to u or v are rescanned —
+// O(n) table lookups per effective step.
+func (ix *PairIndex) Update(u, v int) {
+	n := ix.cfg.n
+	for x := 0; x < n; x++ {
+		if x != u {
+			ix.refresh(u, x)
+		}
+		if x != v && x != u {
+			ix.refresh(v, x)
+		}
+	}
+}
+
+// UpdateEdge refreshes the index after an interaction that changed
+// only the edge {u, v}, neither endpoint's state: no other pair's
+// enabling triple involves that edge, so only this pair is rescanned —
+// O(1) instead of Update's O(n).
+func (ix *PairIndex) UpdateEdge(u, v int) {
+	ix.refresh(u, v)
+}
+
+// refresh recomputes one pair's membership from the configuration.
+func (ix *PairIndex) refresh(u, v int) {
+	if u > v {
+		u, v = v, u
+	}
+	cfg := ix.cfg
+	pi := pairIndex(cfg.n, u, v)
+	edge := cfg.edges.get(pi)
+	e := cfg.proto.lookup(cfg.nodes[u], cfg.nodes[v], edge)
+
+	if enabled := e.effective; enabled != (ix.pos[pi] >= 0) {
+		if enabled {
+			ix.pos[pi] = int32(len(ix.list))
+			ix.list = append(ix.list, uint32(u)<<16|uint32(v))
+		} else {
+			// Swap-remove, fixing the moved pair's position first so the
+			// self-move case resolves to −1.
+			slot := ix.pos[pi]
+			last := ix.list[len(ix.list)-1]
+			ix.list[slot] = last
+			ix.pos[pairIndex(cfg.n, int(last>>16), int(last&0xffff))] = slot
+			ix.list = ix.list[:len(ix.list)-1]
+			ix.pos[pi] = -1
+		}
+	}
+
+	edgeEff := e.effective && (e.outEdge != edge || (e.alt && e.altEdge != edge))
+	if edgeEff != ix.edgeBits.get(pi) {
+		ix.edgeBits.set(pi, edgeEff)
+		if edgeEff {
+			ix.edgeEnabled++
+		} else {
+			ix.edgeEnabled--
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+)
+
+// indexProtocols is a battery of small protocols exercising every
+// transition flavor the index must track: node-only changes, edge
+// activation/deactivation, probabilistic (PREL) branches, and
+// symmetry-breaking coins.
+func indexProtocols(t *testing.T) map[string]*Protocol {
+	t.Helper()
+	return map[string]*Protocol{
+		"epidemic": MustProtocol("epi", []string{"b", "a"}, 1, nil, []Rule{
+			{A: 1, B: 0, Edge: false, OutA: 1, OutB: 1},
+		}),
+		"matching": MustProtocol("match", []string{"q0", "m"}, 0, nil, []Rule{
+			{A: 0, B: 0, Edge: false, OutA: 1, OutB: 1, OutEdge: true},
+		}),
+		"toggle": MustProtocol("toggle", []string{"a", "b"}, 0, nil, []Rule{
+			{A: 0, B: 0, Edge: false, OutA: 0, OutB: 1, OutEdge: true},
+			{A: 0, B: 1, Edge: true, OutA: 1, OutB: 1, OutEdge: false},
+			{A: 1, B: 1, Edge: false, OutA: 1, OutB: 1, OutEdge: true},
+		}),
+		"prel": MustProtocol("prel", []string{"a", "b", "c"}, 0, nil, []Rule{
+			{A: 0, B: 0, Edge: false, OutA: 1, OutB: 1, OutEdge: true,
+				Alt: true, AltA: 2, AltB: 0, AltEdge: false},
+			{A: 1, B: 2, Edge: false, OutA: 2, OutB: 2},
+		}),
+	}
+}
+
+// verifyIndex cross-checks every O(1) answer of the index against the
+// brute-force O(n²) scans over the configuration.
+func verifyIndex(t *testing.T, ix *PairIndex, cfg *Config) {
+	t.Helper()
+	n := cfg.N()
+	enabled, edgeEnabled := 0, 0
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			eff := cfg.Protocol().EffectiveOn(cfg.Node(u), cfg.Node(v), cfg.Edge(u, v))
+			if eff {
+				enabled++
+			}
+			if cfg.Protocol().EdgeEffectiveOn(cfg.Node(u), cfg.Node(v), cfg.Edge(u, v)) {
+				edgeEnabled++
+			}
+			if ix.Contains(u, v) != eff {
+				t.Fatalf("pair {%d,%d}: index says %v, table says %v", u, v, ix.Contains(u, v), eff)
+			}
+		}
+	}
+	if ix.Enabled() != enabled {
+		t.Fatalf("Enabled() = %d, brute force %d", ix.Enabled(), enabled)
+	}
+	if ix.EdgeEnabled() != edgeEnabled {
+		t.Fatalf("EdgeEnabled() = %d, brute force %d", ix.EdgeEnabled(), edgeEnabled)
+	}
+	if ix.Quiescent() != cfg.Quiescent() {
+		t.Fatalf("Quiescent() = %v, scan %v", ix.Quiescent(), cfg.Quiescent())
+	}
+	if ix.EdgeQuiescent() != cfg.EdgeQuiescent() {
+		t.Fatalf("EdgeQuiescent() = %v, scan %v", ix.EdgeQuiescent(), cfg.EdgeQuiescent())
+	}
+}
+
+// TestPairIndexTracksApply drives each protocol with random
+// interactions through Config.Apply + PairIndex.Update and verifies
+// the index against the brute-force scans after every step.
+func TestPairIndexTracksApply(t *testing.T) {
+	t.Parallel()
+	for name, p := range indexProtocols(t) {
+		p := p
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			const n = 12
+			rng := NewRNG(7)
+			cfg := NewConfig(p, n)
+			ix := NewPairIndex(cfg)
+			verifyIndex(t, ix, cfg)
+			for step := 0; step < 2000; step++ {
+				u, v := rng.Pair(n)
+				beforeU, beforeV := cfg.Node(u), cfg.Node(v)
+				effective, _ := cfg.Apply(u, v, rng)
+				if effective {
+					// Mirror the engine's branch: edge-only transitions
+					// take the O(1) path.
+					if cfg.Node(u) == beforeU && cfg.Node(v) == beforeV {
+						ix.UpdateEdge(u, v)
+					} else {
+						ix.Update(u, v)
+					}
+					verifyIndex(t, ix, cfg)
+				}
+			}
+		})
+	}
+}
+
+// TestPairIndexBuildFromArbitraryConfig builds indexes over randomized
+// initial configurations (states and edges set directly) and verifies
+// them, covering the construction path rather than the update path.
+func TestPairIndexBuildFromArbitraryConfig(t *testing.T) {
+	t.Parallel()
+	for name, p := range indexProtocols(t) {
+		p := p
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			rng := NewRNG(11)
+			for trial := 0; trial < 20; trial++ {
+				n := 2 + rng.IntN(14)
+				cfg := NewConfig(p, n)
+				for u := 0; u < n; u++ {
+					cfg.SetNode(u, State(rng.IntN(p.Size())))
+				}
+				for u := 0; u < n; u++ {
+					for v := u + 1; v < n; v++ {
+						cfg.SetEdge(u, v, rng.Coin())
+					}
+				}
+				verifyIndex(t, NewPairIndex(cfg), cfg)
+			}
+		})
+	}
+}
+
+// TestPairIndexSample checks that Sample only returns enabled pairs
+// and visits the whole enabled set in both orientations.
+func TestPairIndexSample(t *testing.T) {
+	t.Parallel()
+	p := indexProtocols(t)["matching"]
+	const n = 8
+	cfg := NewConfig(p, n)
+	ix := NewPairIndex(cfg)
+	if ix.Enabled() != pairCount(n) {
+		t.Fatalf("all-q0 matching should enable every pair, got %d", ix.Enabled())
+	}
+	rng := NewRNG(3)
+	seen := make(map[[2]int]bool)
+	for i := 0; i < 4000; i++ {
+		u, v := ix.Sample(rng)
+		if u == v || u < 0 || v < 0 || u >= n || v >= n {
+			t.Fatalf("bad pair (%d,%d)", u, v)
+		}
+		if !ix.Contains(u, v) {
+			t.Fatalf("sampled disabled pair (%d,%d)", u, v)
+		}
+		seen[[2]int{u, v}] = true
+	}
+	// Every ordered orientation of every pair should appear.
+	if want := 2 * pairCount(n); len(seen) != want {
+		t.Fatalf("sampled %d ordered pairs, want %d", len(seen), want)
+	}
+}

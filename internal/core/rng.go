@@ -1,6 +1,9 @@
 package core
 
-import "math/rand/v2"
+import (
+	"math"
+	"math/rand/v2"
+)
 
 // RNG is the deterministic random source used throughout the simulator:
 // scheduler pair choices, symmetry-breaking coins, and PREL rule coins
@@ -26,6 +29,31 @@ func (r *RNG) Float64() float64 { return r.src.Float64() }
 
 // Perm returns a random permutation of [0, n).
 func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
+
+// Geometric returns the number of failures before the first success in
+// independent Bernoulli(p) trials, for p ∈ (0, 1] — the length of the
+// ineffective run the fast engine skips in one draw. It inverts the
+// geometric CDF on a single uniform draw: ⌊ln U / ln(1−p)⌋ with
+// U ∈ (0, 1]. Non-positive p (a success that can never happen) returns
+// a huge clamp the caller bounds by its step budget.
+func (r *RNG) Geometric(p float64) int64 {
+	if p >= 1 {
+		return 0
+	}
+	const clamp = int64(1) << 62
+	if p <= 0 {
+		return clamp
+	}
+	u := 1 - r.src.Float64() // (0, 1]: avoids ln(0)
+	k := math.Floor(math.Log(u) / math.Log1p(-p))
+	if k < 0 {
+		return 0
+	}
+	if k >= float64(clamp) {
+		return clamp
+	}
+	return int64(k)
+}
 
 // Pair returns a uniform unordered pair {u, v}, u ≠ v, over n nodes —
 // the uniform random scheduler's single draw.
