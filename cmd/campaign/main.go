@@ -49,7 +49,7 @@ func run() error {
 		seed     = flag.Uint64("seed", 1, "base RNG seed")
 		sched    = flag.String("schedulers", "uniform", "comma-separated scheduler names")
 		metric   = flag.String("metric", "", "measured quantity (default: convergence-time for protocols, steps for processes)")
-		engine   = flag.String("engine", "auto", "execution path: auto, baseline, or fast")
+		engine   = flag.String("engine", "auto", "execution path: auto, baseline, fast, or sparse")
 		maxSteps = flag.Int64("max-steps", 0, "per-run step budget (0 = per-n default)")
 		workers  = flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 0, "per-run wall-clock cap (0 = none)")

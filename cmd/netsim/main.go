@@ -35,7 +35,7 @@ func run() error {
 		trials  = flag.Int("trials", 3, "independent runs")
 		seed    = flag.Uint64("seed", 1, "base RNG seed")
 		workers = flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
-		engine  = flag.String("engine", "auto", "execution path: auto, baseline, or fast")
+		engine  = flag.String("engine", "auto", "execution path: auto, baseline, fast, or sparse")
 		dot     = flag.Bool("dot", false, "print the final network as Graphviz DOT")
 		list    = flag.Bool("list", false, "list registered protocols and exit")
 	)

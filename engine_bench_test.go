@@ -1,29 +1,46 @@
 package netcons_test
 
-// BenchmarkFastVsBaseline measures the fast engine (enabled-pair index
-// + geometric step-skipping) against the baseline step-by-step loop on
-// Simple-Global-Line — the paper's Ω(n⁴) worst case, whose long
-// random-walk tail is almost entirely ineffective steps and therefore
-// the fast path's best and most representative customer:
+// BenchmarkFastVsBaseline measures the indexed engines (enabled-pair
+// index + geometric step-skipping, and the sparse state-class sampler)
+// against the baseline step-by-step loop on Simple-Global-Line — the
+// paper's Ω(n⁴) worst case, whose long random-walk tail is almost
+// entirely ineffective steps and therefore the indexed paths' best and
+// most representative customer:
 //
 //   - engine=baseline vs engine=fast rows run to convergence at
 //     n ∈ {64, 128, 256}; compare ns/op between the rows (steps/op
 //     confirms the two simulate the same law);
 //   - n ∈ {512, 1024} rows run the fast engine only — the baseline
 //     would need minutes per run at these sizes, which is the point;
-//   - the speedup row runs both engines back to back at n=256 and
-//     reports the wall-clock ratio directly as "speedup" (≥10× is the
-//     bar this optimisation was built to clear).
+//   - engine=sparse rows run at n ∈ {4096, 16384, 65536}. Beyond
+//     n ≈ 2048 Simple-Global-Line cannot converge within the 2⁴⁰
+//     default step ceiling on any engine, so these rows are fixed-
+//     budget throughput rows (the n=4096 row shares the speedup row's
+//     10⁹-step budget; the larger rows burn the full default ceiling).
+//     At n=65536 the dense PairIndex alone would need ≈8.6 GB — the
+//     sparse row's peak-heap-bytes metric shows a few tens of MB;
+//   - every row reports peak-heap-bytes (runtime.MemStats.HeapAlloc
+//     after the run, before collection) so the perf artifact tracks
+//     memory alongside wall-clock; run with -benchmem for the
+//     allocator's own view;
+//   - the n=256 speedup row runs baseline and fast back to back and
+//     reports the wall-clock ratio as "speedup" (≥10× is the bar that
+//     optimisation was built to clear); the n=4096 sparse-speedup row
+//     does the same for fast vs sparse on a shared 10⁹-step budget,
+//     additionally reporting both engines' allocation totals — the
+//     sparse engine's bar is ≥1× fast's wall-clock at ≥10× less
+//     allocated memory.
 //
 // Run it with:
 //
-//	go test -run '^$' -bench BenchmarkFastVsBaseline -benchtime 1x
+//	go test -run '^$' -bench BenchmarkFastVsBaseline -benchtime 1x -benchmem
 //
 // CI runs exactly that and uploads the test2json stream as the perf
 // trajectory artifact.
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -31,42 +48,85 @@ import (
 	"repro/internal/protocols"
 )
 
-func runLine(b *testing.B, n int, engine core.Engine, seed uint64) core.Result {
+// sparseBudget is the shared step cap of the n=4096 fixed-budget rows:
+// enough to carry the run well past the dense pairing phase into the
+// skip-dominated tail, while keeping the fast side of the comparison
+// row to seconds.
+const sparseBudget = int64(1_000_000_000)
+
+func runLineBudget(b *testing.B, n int, engine core.Engine, seed uint64, maxSteps int64) core.Result {
 	b.Helper()
 	c := protocols.SimpleGlobalLine()
-	res, err := core.Run(c.Proto, n, core.Options{Seed: seed, Engine: engine, Detector: c.Detector})
+	res, err := core.Run(c.Proto, n, core.Options{Seed: seed, Engine: engine, Detector: c.Detector, MaxSteps: maxSteps})
 	if err != nil {
 		b.Fatal(err)
 	}
+	return res
+}
+
+// runLine runs to convergence under the default budget and asserts it.
+func runLine(b *testing.B, n int, engine core.Engine, seed uint64) core.Result {
+	b.Helper()
+	res := runLineBudget(b, n, engine, seed, 0)
 	if !res.Converged {
 		b.Fatalf("n=%d engine=%s seed=%d did not converge", n, engine, seed)
 	}
 	return res
 }
 
+// heapAllocNow returns the live heap size without forcing a collection
+// — read right after a run it approximates the run's peak footprint
+// (the engines allocate their structures up front and produce little
+// garbage).
+func heapAllocNow() float64 {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return float64(m.HeapAlloc)
+}
+
 func BenchmarkFastVsBaseline(b *testing.B) {
 	for _, tc := range []struct {
-		n       int
-		engines []core.Engine
+		n        int
+		maxSteps int64 // 0: run to convergence (asserted); else fixed budget
+		engines  []core.Engine
 	}{
-		{64, []core.Engine{core.EngineBaseline, core.EngineFast}},
-		{128, []core.Engine{core.EngineBaseline, core.EngineFast}},
-		{256, []core.Engine{core.EngineBaseline, core.EngineFast}},
-		{512, []core.Engine{core.EngineFast}},
-		{1024, []core.Engine{core.EngineFast}},
+		{64, 0, []core.Engine{core.EngineBaseline, core.EngineFast}},
+		{128, 0, []core.Engine{core.EngineBaseline, core.EngineFast}},
+		{256, 0, []core.Engine{core.EngineBaseline, core.EngineFast}},
+		{512, 0, []core.Engine{core.EngineFast}},
+		{1024, 0, []core.Engine{core.EngineFast}},
+		{4096, sparseBudget, []core.Engine{core.EngineSparse}},
+		{16384, core.DefaultMaxSteps(16384), []core.Engine{core.EngineSparse}},
+		{65536, core.DefaultMaxSteps(65536), []core.Engine{core.EngineSparse}},
 	} {
 		tc := tc
 		for _, engine := range tc.engines {
 			engine := engine
 			b.Run(fmt.Sprintf("Simple-Global-Line/n=%d/engine=%s", tc.n, engine), func(b *testing.B) {
 				var steps, effective int64
+				var peakHeap float64
 				for i := 0; i < b.N; i++ {
-					res := runLine(b, tc.n, engine, uint64(i)+1)
+					// Collect other rows' (and iterations') garbage
+					// outside the timer so peak-heap-bytes reflects this
+					// run's footprint, not GC timing.
+					b.StopTimer()
+					runtime.GC()
+					b.StartTimer()
+					var res core.Result
+					if tc.maxSteps == 0 {
+						res = runLine(b, tc.n, engine, uint64(i)+1)
+					} else {
+						res = runLineBudget(b, tc.n, engine, uint64(i)+1, tc.maxSteps)
+					}
 					steps += res.Steps
 					effective += res.EffectiveSteps
+					if h := heapAllocNow(); h > peakHeap {
+						peakHeap = h
+					}
 				}
 				b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
 				b.ReportMetric(float64(effective)/float64(b.N), "effective/op")
+				b.ReportMetric(peakHeap, "peak-heap-bytes")
 			})
 		}
 	}
@@ -85,5 +145,40 @@ func BenchmarkFastVsBaseline(b *testing.B) {
 		if fast > 0 {
 			b.ReportMetric(float64(baseline)/float64(fast), "speedup")
 		}
+	})
+
+	// The acceptance row of the sparse engine: identical workload
+	// (same n, seed and step budget) on both indexed paths; "speedup"
+	// is fast's wall-clock over sparse's (bar: ≥ 1), and the two
+	// alloc-bytes metrics expose the ≥ 10× memory gap that is the
+	// sparse engine's reason to exist.
+	b.Run("Simple-Global-Line/n=4096/sparse-speedup", func(b *testing.B) {
+		var fast, sparse time.Duration
+		var fastAlloc, sparseAlloc float64
+		var m0, m1 runtime.MemStats
+		for i := 0; i < b.N; i++ {
+			seed := uint64(i) + 1
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
+			start := time.Now()
+			runLineBudget(b, 4096, core.EngineFast, seed, sparseBudget)
+			fast += time.Since(start)
+			runtime.ReadMemStats(&m1)
+			fastAlloc += float64(m1.TotalAlloc - m0.TotalAlloc)
+
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
+			start = time.Now()
+			runLineBudget(b, 4096, core.EngineSparse, seed, sparseBudget)
+			sparse += time.Since(start)
+			runtime.ReadMemStats(&m1)
+			sparseAlloc += float64(m1.TotalAlloc - m0.TotalAlloc)
+		}
+		if sparse > 0 {
+			b.ReportMetric(float64(fast)/float64(sparse), "speedup")
+		}
+		n := float64(b.N)
+		b.ReportMetric(fastAlloc/n, "fast-alloc-bytes/op")
+		b.ReportMetric(sparseAlloc/n, "sparse-alloc-bytes/op")
 	})
 }

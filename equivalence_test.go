@@ -1,20 +1,25 @@
 package netcons_test
 
 // TestEngineEquivalence is the distributional-equivalence suite for
-// the fast engine: every registered protocol and every Table 1 process
-// runs under the uniform scheduler on BOTH engines across many seeds,
-// and the suites must agree on
+// the indexed engines: every registered protocol and every Table 1
+// process runs under the uniform scheduler on ALL THREE engines
+// (baseline, fast, sparse) across many seeds, and the suites must
+// agree on
 //
-//   - convergence semantics: every trial converges on both engines
+//   - convergence semantics: every trial converges on every engine
 //     (and no trial stops), and
-//   - the law of the measured metric: the two means must sit within a
-//     5σ combined-standard-error band of one another.
+//   - the law of the measured metric: each indexed engine's mean must
+//     sit within a 5σ combined-standard-error band of the baseline's.
 //
 // The engines are deterministic per seed but consume randomness
 // differently, so individual runs differ; the geometric-skip argument
 // (see ARCHITECTURE.md) promises equality in distribution, which is
 // what this asserts. Seeds are fixed, so the test itself is fully
 // deterministic — a failure means a real law change, not noise.
+//
+// CI greps this test's -v output for the engine=fast and engine=sparse
+// subtests, so a silently skipped engine fails the job; keep the
+// subtest naming scheme in sync with .github/workflows/ci.yml.
 
 import (
 	"context"
@@ -27,6 +32,10 @@ import (
 	"repro/internal/processes"
 	"repro/internal/protocols"
 )
+
+// indexedEngines are the execution paths measured against the
+// baseline by the equivalence suites.
+var indexedEngines = []core.Engine{core.EngineFast, core.EngineSparse}
 
 // equivalencePoints returns the grid the suite sweeps: every registry
 // protocol at a small-but-nontrivial population, and every registered
@@ -116,27 +125,30 @@ func TestEngineEquivalence(t *testing.T) {
 	}
 
 	base := execute(core.EngineBaseline)
-	fast := execute(core.EngineFast)
-	if len(base) != len(fast) {
-		t.Fatalf("aggregate count mismatch: %d vs %d", len(base), len(fast))
-	}
-	for i := range base {
-		b, f := base[i], fast[i]
-		name := fmt.Sprintf("%s/n=%d", b.Protocol, b.N)
-		t.Run(name, func(t *testing.T) {
-			if b.Converged != b.Trials || b.Failures != 0 || b.Stopped != 0 {
-				t.Fatalf("baseline convergence semantics: %+v", b)
-			}
-			if f.Converged != f.Trials || f.Failures != 0 || f.Stopped != 0 {
-				t.Fatalf("fast convergence semantics: %+v", f)
-			}
-			diff := math.Abs(b.Mean - f.Mean)
-			bound := 5 * math.Hypot(b.StdErr, f.StdErr)
-			if diff > bound {
-				t.Fatalf("means diverged: baseline %.1f±%.1f vs fast %.1f±%.1f (|Δ|=%.1f > 5σ=%.1f)",
-					b.Mean, b.StdErr, f.Mean, f.StdErr, diff, bound)
-			}
-		})
+	for _, engine := range indexedEngines {
+		engine := engine
+		subject := execute(engine)
+		if len(base) != len(subject) {
+			t.Fatalf("aggregate count mismatch: %d vs %d", len(base), len(subject))
+		}
+		for i := range base {
+			b, f := base[i], subject[i]
+			name := fmt.Sprintf("%s/engine=%s/n=%d", b.Protocol, engine, b.N)
+			t.Run(name, func(t *testing.T) {
+				if b.Converged != b.Trials || b.Failures != 0 || b.Stopped != 0 {
+					t.Fatalf("baseline convergence semantics: %+v", b)
+				}
+				if f.Converged != f.Trials || f.Failures != 0 || f.Stopped != 0 {
+					t.Fatalf("%s convergence semantics: %+v", engine, f)
+				}
+				diff := math.Abs(b.Mean - f.Mean)
+				bound := 5 * math.Hypot(b.StdErr, f.StdErr)
+				if diff > bound {
+					t.Fatalf("means diverged: baseline %.1f±%.1f vs %s %.1f±%.1f (|Δ|=%.1f > 5σ=%.1f)",
+						b.Mean, b.StdErr, engine, f.Mean, f.StdErr, diff, bound)
+				}
+			})
+		}
 	}
 }
 
@@ -165,32 +177,34 @@ func TestEngineEquivalenceSecondaryMetrics(t *testing.T) {
 	}
 	for metricName, metric := range metrics {
 		for _, sub := range subjects {
-			metricName, metric, sub := metricName, metric, sub
-			t.Run(fmt.Sprintf("%s/%s", sub.name, metricName), func(t *testing.T) {
-				t.Parallel()
-				aggregate := func(engine core.Engine) campaign.Aggregate {
-					t.Helper()
-					out, err := campaign.Execute(context.Background(), []campaign.Point{{
-						Protocol: sub.name, N: sub.n, Trials: trials, BaseSeed: 1,
-						Proto: sub.c.Proto, Detector: sub.c.Detector,
-						Engine: engine, Metric: metric,
-					}}, campaign.Options{})
-					if err != nil {
-						t.Fatal(err)
+			for _, engine := range indexedEngines {
+				metricName, metric, sub, engine := metricName, metric, sub, engine
+				t.Run(fmt.Sprintf("%s/engine=%s/%s", sub.name, engine, metricName), func(t *testing.T) {
+					t.Parallel()
+					aggregate := func(engine core.Engine) campaign.Aggregate {
+						t.Helper()
+						out, err := campaign.Execute(context.Background(), []campaign.Point{{
+							Protocol: sub.name, N: sub.n, Trials: trials, BaseSeed: 1,
+							Proto: sub.c.Proto, Detector: sub.c.Detector,
+							Engine: engine, Metric: metric,
+						}}, campaign.Options{})
+						if err != nil {
+							t.Fatal(err)
+						}
+						return out.Aggregates[0]
 					}
-					return out.Aggregates[0]
-				}
-				b, f := aggregate(core.EngineBaseline), aggregate(core.EngineFast)
-				if b.Converged != trials || f.Converged != trials {
-					t.Fatalf("convergence mismatch: baseline %d, fast %d of %d", b.Converged, f.Converged, trials)
-				}
-				diff := math.Abs(b.Mean - f.Mean)
-				bound := 5 * math.Hypot(b.StdErr, f.StdErr)
-				if diff > bound {
-					t.Fatalf("%s means diverged: baseline %.1f±%.1f vs fast %.1f±%.1f",
-						metricName, b.Mean, b.StdErr, f.Mean, f.StdErr)
-				}
-			})
+					b, f := aggregate(core.EngineBaseline), aggregate(engine)
+					if b.Converged != trials || f.Converged != trials {
+						t.Fatalf("convergence mismatch: baseline %d, %s %d of %d", b.Converged, engine, f.Converged, trials)
+					}
+					diff := math.Abs(b.Mean - f.Mean)
+					bound := 5 * math.Hypot(b.StdErr, f.StdErr)
+					if diff > bound {
+						t.Fatalf("%s means diverged: baseline %.1f±%.1f vs %s %.1f±%.1f",
+							metricName, b.Mean, b.StdErr, engine, f.Mean, f.StdErr)
+					}
+				})
+			}
 		}
 	}
 }

@@ -299,10 +299,49 @@ func TestSpecCompileRejects(t *testing.T) {
 		{Trials: 1, Items: []Item{{Name: "cycle-cover", Kind: "wat", Sizes: []int{8}}}},
 		{Trials: 1, Items: []Item{{Name: "cycle-cover", Sizes: []int{8}}}, Schedulers: []string{"nope"}},
 		{Trials: 1, Items: []Item{{Name: "cycle-cover", Sizes: []int{8}}}, Metric: "nope"},
+		{Trials: 1, Items: []Item{{Name: "cycle-cover", Sizes: []int{8}}}, Engine: "nope"},
+		// The indexed engines require the uniform scheduler.
+		{Trials: 1, Items: []Item{{Name: "cycle-cover", Sizes: []int{8}}}, Engine: "fast", Schedulers: []string{"round-robin"}},
+		{Trials: 1, Items: []Item{{Name: "cycle-cover", Sizes: []int{8}}}, Engine: "sparse", Schedulers: []string{"permutation"}},
+		// Forced engines must fit their population caps at compile time,
+		// not as all-failure aggregates at run time.
+		{Trials: 1, Items: []Item{{Name: "cycle-cover", Sizes: []int{1 << 16}}}, Engine: "fast"},
+		{Trials: 1, Items: []Item{{Name: "cycle-cover", Sizes: []int{1<<20 + 1}}}, Engine: "sparse"},
 	}
 	for i, spec := range bad {
 		if _, err := spec.Compile(); err == nil {
 			t.Fatalf("bad spec %d accepted: %+v", i, spec)
+		}
+	}
+}
+
+// TestSpecCompileSparseEngine checks the sparse engine flows through a
+// spec end to end.
+func TestSpecCompileSparseEngine(t *testing.T) {
+	t.Parallel()
+	spec := Spec{
+		Trials: 2,
+		Seed:   3,
+		Engine: "sparse",
+		Items:  []Item{{Name: "cycle-cover", Sizes: []int{12}}},
+	}
+	points, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 || points[0].Engine != core.EngineSparse {
+		t.Fatalf("compiled points %+v", points)
+	}
+	out, err := Execute(context.Background(), points, Options{KeepRuns: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Aggregates[0].Converged != 2 {
+		t.Fatalf("sparse spec runs did not converge: %+v", out.Aggregates[0])
+	}
+	for _, rec := range out.Runs {
+		if rec.Engine != "sparse" {
+			t.Fatalf("run executed on %q, want sparse", rec.Engine)
 		}
 	}
 }

@@ -42,9 +42,10 @@ type Spec struct {
 	// MaxSteps caps each run's interactions; 0 means the engine's
 	// per-n default budget.
 	MaxSteps int64 `json:"max_steps,omitempty"`
-	// Engine selects the core execution path: "auto" (default; the
-	// fast enabled-pair-index engine under the uniform scheduler, the
-	// baseline loop otherwise), "baseline", or "fast".
+	// Engine selects the core execution path: "auto" (default; under
+	// the uniform scheduler the fast enabled-pair-index engine up to
+	// n=4096 and the sparse state-class engine above it, the baseline
+	// loop otherwise), "baseline", "fast", or "sparse".
 	Engine string `json:"engine,omitempty"`
 }
 
@@ -152,8 +153,11 @@ func (s Spec) Compile() ([]Point, error) {
 				if err != nil {
 					return nil, err
 				}
-				if engine == core.EngineFast && factory != nil {
-					return nil, fmt.Errorf("campaign: item %d (%q): the fast engine requires the uniform scheduler, not %q", i, item.Name, schedName)
+				if (engine == core.EngineFast || engine == core.EngineSparse) && factory != nil {
+					return nil, fmt.Errorf("campaign: item %d (%q): the %s engine requires the uniform scheduler, not %q", i, item.Name, engine, schedName)
+				}
+				if err := engine.ValidateN(n); err != nil {
+					return nil, fmt.Errorf("campaign: item %d (%q): %w", i, item.Name, err)
 				}
 				pt := Point{
 					N:            n,

@@ -1,0 +1,398 @@
+package core
+
+import "fmt"
+
+// maxSparseNodes bounds the populations the sparse state-class engine
+// accepts. The structure itself is O(n + m + |Q|²), so the cap is
+// practical rather than representational: beyond ~2²⁰ nodes the
+// geometric skip probabilities m/P fall below 2⁻³⁹ and step budgets
+// stop being meaningful long before memory does.
+const maxSparseNodes = 1 << 20
+
+// ClassIndex is the sparse counterpart of PairIndex: instead of
+// materializing the enabled pairs (Θ(n²) in the worst case), it counts
+// them by *state class*. The observation is that a pair's enabledness
+// depends only on the triple (state(u), state(v), edge(u,v)), so the
+// enabled-pair count decomposes over unordered state classes
+// {q₁, q₂}:
+//
+//	enabled = Σ_{q₁≤q₂} [ E(q₁,q₂,0)·(P(q₁,q₂) − A(q₁,q₂))
+//	                    + E(q₁,q₂,1)·A(q₁,q₂) ]
+//
+// where E is the protocol's effectiveness table, P(q₁,q₂) is the
+// number of pairs with those endpoint states (n_{q₁}·n_{q₂}, or
+// C(n_q,2) on the diagonal — pure population counts, which Config
+// already maintains), and A(q₁,q₂) is the number of *active edges*
+// whose endpoints are in those states (maintained from the actual edge
+// multiset). The same decomposition with the edge-effectiveness table
+// yields the edge-enabled count.
+//
+// Costs: O(n + m + |Q|²) to build, O(deg(u) + deg(v) + |Q|) per
+// effective step to maintain, O(|Q|²) + O(1) expected to sample a
+// uniformly random enabled pair — a class is drawn proportionally to
+// its weight, then within the class an active edge is an O(1) bucket
+// draw and a non-edge is drawn by rejection from the per-state node
+// lists (the fallback exact walk only triggers when active edges
+// saturate a class, in which case the walk is O(A) and A is bounded by
+// the edge count). Nothing scales with n² — the whole point.
+//
+// Like PairIndex, a ClassIndex is bound to the Config it was built
+// from and must be notified (Update) after every effective interaction;
+// mutating the Config behind its back invalidates it. It is not safe
+// for concurrent use.
+type ClassIndex struct {
+	cfg *Config
+	q   int
+
+	// byState lists the nodes in each state; slot is each node's index
+	// in its list, so state moves are O(1) swap-removes.
+	byState [][]int32
+	slot    []int32
+
+	// Active edges bucketed by canonical class id (q₁·|Q|+q₂, q₁≤q₂):
+	// edgeCount is A(q₁,q₂); edgeList holds the edges packed u<<32|v
+	// (u < v) for O(1) uniform draws; edgeSlot maps a packed edge to
+	// its bucket slot for O(1) removal.
+	edgeCount []int64
+	edgeList  [][]uint64
+	edgeSlot  map[uint64]int32
+
+	// w and we cache each class's enabled / edge-enabled pair count per
+	// edge bit (index 2·id + edgeBit); enabled and edgeEnabled are
+	// their running totals.
+	w, we       []int64
+	enabled     int64
+	edgeEnabled int64
+
+	nbuf []int // neighbor scratch for Update
+}
+
+// NewClassIndex builds the index for the configuration's current state
+// in O(n + m + |Q|²). The population must be at most maxSparseNodes.
+func NewClassIndex(cfg *Config) *ClassIndex {
+	n := cfg.n
+	if n > maxSparseNodes {
+		panic(fmt.Sprintf("core: ClassIndex supports populations up to %d, got %d", maxSparseNodes, n))
+	}
+	q := cfg.proto.Size()
+	ci := &ClassIndex{
+		cfg:       cfg,
+		q:         q,
+		byState:   make([][]int32, q),
+		slot:      make([]int32, n),
+		edgeCount: make([]int64, q*q),
+		edgeList:  make([][]uint64, q*q),
+		edgeSlot:  make(map[uint64]int32),
+		w:         make([]int64, 2*q*q),
+		we:        make([]int64, 2*q*q),
+	}
+	for u, s := range cfg.nodes {
+		ci.slot[u] = int32(len(ci.byState[s]))
+		ci.byState[s] = append(ci.byState[s], int32(u))
+	}
+	cfg.store.forEach(func(u, v int) {
+		ci.insertEdge(u, v, ci.classID(cfg.nodes[u], cfg.nodes[v]))
+	})
+	for a := 0; a < q; a++ {
+		for b := a; b < q; b++ {
+			ci.reweigh(a, b)
+		}
+	}
+	return ci
+}
+
+// Enabled returns the number of currently enabled pairs.
+func (ci *ClassIndex) Enabled() int64 { return ci.enabled }
+
+// EdgeEnabled returns the number of enabled pairs whose transition can
+// change an edge.
+func (ci *ClassIndex) EdgeEnabled() int64 { return ci.edgeEnabled }
+
+// Quiescent reports full quiescence in O(1); it always agrees with the
+// O(n²) Config.Quiescent scan.
+func (ci *ClassIndex) Quiescent() bool { return ci.enabled == 0 }
+
+// EdgeQuiescent reports edge quiescence in O(1); it always agrees with
+// the O(n²) Config.EdgeQuiescent scan.
+func (ci *ClassIndex) EdgeQuiescent() bool { return ci.edgeEnabled == 0 }
+
+// classID maps an unordered state pair to its canonical class id.
+func (ci *ClassIndex) classID(a, b State) int {
+	if a > b {
+		a, b = b, a
+	}
+	return int(a)*ci.q + int(b)
+}
+
+func packEdge(u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(v)
+}
+
+func (ci *ClassIndex) insertEdge(u, v, id int) {
+	key := packEdge(u, v)
+	ci.edgeSlot[key] = int32(len(ci.edgeList[id]))
+	ci.edgeList[id] = append(ci.edgeList[id], key)
+	ci.edgeCount[id]++
+}
+
+func (ci *ClassIndex) removeEdge(u, v, id int) {
+	key := packEdge(u, v)
+	slot := ci.edgeSlot[key]
+	list := ci.edgeList[id]
+	last := list[len(list)-1]
+	list[slot] = last
+	ci.edgeSlot[last] = slot
+	ci.edgeList[id] = list[:len(list)-1]
+	delete(ci.edgeSlot, key)
+	ci.edgeCount[id]--
+}
+
+func (ci *ClassIndex) moveEdge(u, v, fromID, toID int) {
+	if fromID == toID {
+		return
+	}
+	ci.removeEdge(u, v, fromID)
+	ci.insertEdge(u, v, toID)
+}
+
+func (ci *ClassIndex) moveNode(u int, from, to State) {
+	list := ci.byState[from]
+	s := ci.slot[u]
+	last := list[len(list)-1]
+	list[s] = last
+	ci.slot[last] = s
+	ci.byState[from] = list[:len(list)-1]
+	ci.slot[u] = int32(len(ci.byState[to]))
+	ci.byState[to] = append(ci.byState[to], int32(u))
+}
+
+// reweigh recomputes one class's cached enabled / edge-enabled pair
+// counts from the current population counts and edge buckets, folding
+// the deltas into the running totals. It is idempotent, so callers may
+// reweigh a class more than once per step without harm.
+func (ci *ClassIndex) reweigh(a, b int) {
+	id := a*ci.q + b
+	cfg := ci.cfg
+	var pairs int64
+	if a == b {
+		k := int64(cfg.counts[a])
+		pairs = k * (k - 1) / 2
+	} else {
+		pairs = int64(cfg.counts[a]) * int64(cfg.counts[b])
+	}
+	act := ci.edgeCount[id]
+	non := pairs - act
+	sa, sb := State(a), State(b)
+	var w0, w1, we0, we1 int64
+	if cfg.proto.EffectiveOn(sa, sb, false) {
+		w0 = non
+	}
+	if cfg.proto.EffectiveOn(sa, sb, true) {
+		w1 = act
+	}
+	if cfg.proto.EdgeEffectiveOn(sa, sb, false) {
+		we0 = non
+	}
+	if cfg.proto.EdgeEffectiveOn(sa, sb, true) {
+		we1 = act
+	}
+	ci.enabled += w0 + w1 - ci.w[2*id] - ci.w[2*id+1]
+	ci.w[2*id], ci.w[2*id+1] = w0, w1
+	ci.edgeEnabled += we0 + we1 - ci.we[2*id] - ci.we[2*id+1]
+	ci.we[2*id], ci.we[2*id+1] = we0, we1
+}
+
+// reweighState recomputes every class containing state s.
+func (ci *ClassIndex) reweighState(s State) {
+	for t := 0; t < ci.q; t++ {
+		if t < int(s) {
+			ci.reweigh(t, int(s))
+		} else {
+			ci.reweigh(int(s), t)
+		}
+	}
+}
+
+// Update refreshes the index after an interaction was applied to the
+// pair {u, v}. beforeU and beforeV are the node states before the
+// interaction and edgeChanged reports whether the edge flipped —
+// exactly what Config.Apply exposes. Cost: O(deg(u) + deg(v) + |Q|)
+// when a node state changed, O(1) for edge-only transitions.
+func (ci *ClassIndex) Update(u, v int, beforeU, beforeV State, edgeChanged bool) {
+	cfg := ci.cfg
+	afterU, afterV := cfg.nodes[u], cfg.nodes[v]
+	edgeNow := cfg.store.get(u, v)
+	edgeBefore := edgeNow
+	if edgeChanged {
+		edgeBefore = !edgeNow
+	}
+
+	// Re-class the active edges incident to a node whose state changed:
+	// every such edge {u, x} moves from class {before, state(x)} to
+	// {after, state(x)}. The {u, v} edge is handled separately below
+	// because both its endpoints (and the edge itself) may have changed.
+	if afterU != beforeU {
+		ci.moveNode(u, beforeU, afterU)
+		ci.nbuf = cfg.store.neighbors(u, ci.nbuf[:0])
+		for _, x := range ci.nbuf {
+			if x == v {
+				continue
+			}
+			sx := cfg.nodes[x]
+			ci.moveEdge(u, x, ci.classID(beforeU, sx), ci.classID(afterU, sx))
+		}
+	}
+	if afterV != beforeV {
+		ci.moveNode(v, beforeV, afterV)
+		ci.nbuf = cfg.store.neighbors(v, ci.nbuf[:0])
+		for _, x := range ci.nbuf {
+			if x == u {
+				continue
+			}
+			sx := cfg.nodes[x]
+			ci.moveEdge(v, x, ci.classID(beforeV, sx), ci.classID(afterV, sx))
+		}
+	}
+	switch {
+	case edgeBefore && edgeNow:
+		ci.moveEdge(u, v, ci.classID(beforeU, beforeV), ci.classID(afterU, afterV))
+	case edgeBefore && !edgeNow:
+		ci.removeEdge(u, v, ci.classID(beforeU, beforeV))
+	case !edgeBefore && edgeNow:
+		ci.insertEdge(u, v, ci.classID(afterU, afterV))
+	}
+
+	// Edge-only transition: population counts are untouched, so only
+	// the pair's own class weight can have changed.
+	if afterU == beforeU && afterV == beforeV {
+		a, b := afterU, afterV
+		if a > b {
+			a, b = b, a
+		}
+		ci.reweigh(int(a), int(b))
+		return
+	}
+	// Otherwise every class containing a changed state needs reweighing
+	// (reweigh is idempotent, so overlaps between the four are fine).
+	ci.reweighState(beforeU)
+	if afterU != beforeU {
+		ci.reweighState(afterU)
+	}
+	ci.reweighState(beforeV)
+	if afterV != beforeV {
+		ci.reweighState(afterV)
+	}
+}
+
+// Sample returns a uniformly random enabled pair in random orientation
+// (matching the orientation law of RNG.Pair, exactly as
+// PairIndex.Sample). It must not be called when Enabled() is zero.
+func (ci *ClassIndex) Sample(rng *RNG) (u, v int) {
+	r := rng.Int64N(ci.enabled)
+	for a := 0; a < ci.q; a++ {
+		for b := a; b < ci.q; b++ {
+			id := a*ci.q + b
+			if w := ci.w[2*id]; r < w {
+				return ci.sampleNonEdge(a, b, rng)
+			} else {
+				r -= w
+			}
+			if w := ci.w[2*id+1]; r < w {
+				key := ci.edgeList[id][rng.IntN(len(ci.edgeList[id]))]
+				return orient(int(key>>32), int(key&0xffffffff), rng)
+			} else {
+				r -= w
+			}
+		}
+	}
+	panic("core: ClassIndex class weights inconsistent with total")
+}
+
+// sampleNonEdge draws a uniformly random non-edge pair within the
+// class {a, b}: rejection from the per-state node lists (expected O(1)
+// while non-edges dominate the class), falling back to an exact
+// counted walk when active edges saturate it — in which case the walk
+// is O(P(a,b)) = O(A/(1−acceptance)) and A is bounded by the total
+// edge count, so the amortized cost stays O(m)-bounded.
+func (ci *ClassIndex) sampleNonEdge(a, b int, rng *RNG) (int, int) {
+	cfg := ci.cfg
+	la, lb := ci.byState[a], ci.byState[b]
+	const tries = 64
+	for t := 0; t < tries; t++ {
+		var u, v int
+		if a == b {
+			i := rng.IntN(len(la))
+			j := rng.IntN(len(la) - 1)
+			if j >= i {
+				j++
+			}
+			u, v = int(la[i]), int(la[j])
+		} else {
+			u = int(la[rng.IntN(len(la))])
+			v = int(lb[rng.IntN(len(lb))])
+		}
+		if !cfg.store.get(u, v) {
+			return orient(u, v, rng)
+		}
+	}
+	// Exact fallback: pick the t-th non-edge of the class.
+	id := a*ci.q + b
+	var pairs int64
+	if a == b {
+		k := int64(len(la))
+		pairs = k * (k - 1) / 2
+	} else {
+		pairs = int64(len(la)) * int64(len(lb))
+	}
+	t := rng.Int64N(pairs - ci.edgeCount[id])
+	if a == b {
+		for i := 0; i < len(la); i++ {
+			for j := i + 1; j < len(la); j++ {
+				u, v := int(la[i]), int(la[j])
+				if cfg.store.get(u, v) {
+					continue
+				}
+				if t == 0 {
+					return orient(u, v, rng)
+				}
+				t--
+			}
+		}
+	} else {
+		for i := 0; i < len(la); i++ {
+			for j := 0; j < len(lb); j++ {
+				u, v := int(la[i]), int(lb[j])
+				if cfg.store.get(u, v) {
+					continue
+				}
+				if t == 0 {
+					return orient(u, v, rng)
+				}
+				t--
+			}
+		}
+	}
+	panic("core: ClassIndex non-edge count inconsistent with class")
+}
+
+// orient returns the pair in uniformly random orientation.
+func orient(u, v int, rng *RNG) (int, int) {
+	if rng.Coin() {
+		return v, u
+	}
+	return u, v
+}
+
+// pairSampler adapter (see fast.go).
+
+func (ci *ClassIndex) enabledPairs() int64     { return ci.enabled }
+func (ci *ClassIndex) edgeEnabledPairs() int64 { return ci.edgeEnabled }
+
+func (ci *ClassIndex) samplePair(rng *RNG) (int, int) { return ci.Sample(rng) }
+
+func (ci *ClassIndex) applied(u, v int, beforeU, beforeV State, edgeChanged bool) {
+	ci.Update(u, v, beforeU, beforeV, edgeChanged)
+}

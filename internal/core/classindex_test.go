@@ -1,0 +1,271 @@
+package core
+
+import (
+	"testing"
+)
+
+// verifyClassIndex cross-checks the class-decomposition counts of the
+// index against brute-force enabled-pair scans over the configuration.
+func verifyClassIndex(t *testing.T, ci *ClassIndex, cfg *Config) {
+	t.Helper()
+	n := cfg.N()
+	var enabled, edgeEnabled int64
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if cfg.Protocol().EffectiveOn(cfg.Node(u), cfg.Node(v), cfg.Edge(u, v)) {
+				enabled++
+			}
+			if cfg.Protocol().EdgeEffectiveOn(cfg.Node(u), cfg.Node(v), cfg.Edge(u, v)) {
+				edgeEnabled++
+			}
+		}
+	}
+	if ci.Enabled() != enabled {
+		t.Fatalf("Enabled() = %d, brute force %d", ci.Enabled(), enabled)
+	}
+	if ci.EdgeEnabled() != edgeEnabled {
+		t.Fatalf("EdgeEnabled() = %d, brute force %d", ci.EdgeEnabled(), edgeEnabled)
+	}
+	if ci.Quiescent() != cfg.Quiescent() {
+		t.Fatalf("Quiescent() = %v, scan %v", ci.Quiescent(), cfg.Quiescent())
+	}
+	if ci.EdgeQuiescent() != cfg.EdgeQuiescent() {
+		t.Fatalf("EdgeQuiescent() = %v, scan %v", ci.EdgeQuiescent(), cfg.EdgeQuiescent())
+	}
+}
+
+// TestClassIndexTracksApply drives each protocol with random
+// interactions through Config.Apply + ClassIndex.Update and verifies
+// the class decomposition against the brute-force scans after every
+// effective step — on both edge-storage strategies.
+func TestClassIndexTracksApply(t *testing.T) {
+	t.Parallel()
+	for name, p := range indexProtocols(t) {
+		p := p
+		for _, sparse := range []bool{false, true} {
+			sparse := sparse
+			label := name + "/dense-store"
+			if sparse {
+				label = name + "/sparse-store"
+			}
+			t.Run(label, func(t *testing.T) {
+				t.Parallel()
+				const n = 12
+				rng := NewRNG(7)
+				cfg := NewConfig(p, n)
+				if sparse {
+					cfg.store = &sparseStore{n: n, adj: make([][]int32, n)}
+				}
+				ci := NewClassIndex(cfg)
+				verifyClassIndex(t, ci, cfg)
+				for step := 0; step < 2000; step++ {
+					u, v := rng.Pair(n)
+					beforeU, beforeV := cfg.Node(u), cfg.Node(v)
+					effective, edgeChanged := cfg.Apply(u, v, rng)
+					if effective {
+						ci.Update(u, v, beforeU, beforeV, edgeChanged)
+						verifyClassIndex(t, ci, cfg)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestClassIndexBuildFromArbitraryConfig pins the class-decomposition
+// count against brute-force enabled-pair scans across randomized
+// configurations (states and edges set directly), covering the
+// construction path.
+func TestClassIndexBuildFromArbitraryConfig(t *testing.T) {
+	t.Parallel()
+	for name, p := range indexProtocols(t) {
+		p := p
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			rng := NewRNG(11)
+			for trial := 0; trial < 20; trial++ {
+				n := 2 + rng.IntN(14)
+				cfg := NewConfig(p, n)
+				for u := 0; u < n; u++ {
+					cfg.SetNode(u, State(rng.IntN(p.Size())))
+				}
+				for u := 0; u < n; u++ {
+					for v := u + 1; v < n; v++ {
+						cfg.SetEdge(u, v, rng.Coin())
+					}
+				}
+				verifyClassIndex(t, NewClassIndex(cfg), cfg)
+			}
+		})
+	}
+}
+
+// TestClassIndexAgreesWithPairIndex pins the two enabled-pair
+// structures against each other while a run of random interactions
+// evolves the configuration: the class decomposition must equal the
+// materialized pair count at every effective step.
+func TestClassIndexAgreesWithPairIndex(t *testing.T) {
+	t.Parallel()
+	for name, p := range indexProtocols(t) {
+		p := p
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			const n = 14
+			rng := NewRNG(23)
+			cfg := NewConfig(p, n)
+			ix := NewPairIndex(cfg)
+			ci := NewClassIndex(cfg)
+			for step := 0; step < 3000; step++ {
+				u, v := rng.Pair(n)
+				beforeU, beforeV := cfg.Node(u), cfg.Node(v)
+				effective, edgeChanged := cfg.Apply(u, v, rng)
+				if !effective {
+					continue
+				}
+				ix.applied(u, v, beforeU, beforeV, edgeChanged)
+				ci.Update(u, v, beforeU, beforeV, edgeChanged)
+				if ci.Enabled() != int64(ix.Enabled()) {
+					t.Fatalf("step %d: class decomposition %d, pair index %d", step, ci.Enabled(), ix.Enabled())
+				}
+				if ci.EdgeEnabled() != int64(ix.EdgeEnabled()) {
+					t.Fatalf("step %d: edge classes %d, pair index %d", step, ci.EdgeEnabled(), ix.EdgeEnabled())
+				}
+			}
+		})
+	}
+}
+
+// TestClassIndexSample checks that Sample only returns enabled pairs
+// and visits the whole enabled set in both orientations, including
+// through the rejection path (active edges mixed into enabled classes).
+func TestClassIndexSample(t *testing.T) {
+	t.Parallel()
+	p := indexProtocols(t)["matching"]
+	const n = 8
+	cfg := NewConfig(p, n)
+	ci := NewClassIndex(cfg)
+	if ci.Enabled() != int64(pairCount(n)) {
+		t.Fatalf("all-q0 matching should enable every pair, got %d", ci.Enabled())
+	}
+	rng := NewRNG(3)
+	seen := make(map[[2]int]bool)
+	for i := 0; i < 4000; i++ {
+		u, v := ci.Sample(rng)
+		if u == v || u < 0 || v < 0 || u >= n || v >= n {
+			t.Fatalf("bad pair (%d,%d)", u, v)
+		}
+		if !p.EffectiveOn(cfg.Node(u), cfg.Node(v), cfg.Edge(u, v)) {
+			t.Fatalf("sampled disabled pair (%d,%d)", u, v)
+		}
+		seen[[2]int{u, v}] = true
+	}
+	// Every ordered orientation of every pair should appear.
+	if want := 2 * pairCount(n); len(seen) != want {
+		t.Fatalf("sampled %d ordered pairs, want %d", len(seen), want)
+	}
+}
+
+// TestClassIndexSampleSaturatedClass exercises the exact-walk fallback
+// of sampleNonEdge: in a class where almost every pair already holds an
+// active edge, rejection nearly always fails, yet the draw must remain
+// uniform over the surviving non-edges.
+func TestClassIndexSampleSaturatedClass(t *testing.T) {
+	t.Parallel()
+	p := indexProtocols(t)["matching"] // q0-q0 non-edge pairs are enabled
+	const n = 10
+	cfg := NewConfig(p, n)
+	// Activate every edge except {0,1} and {2,3}; the enabled set is
+	// exactly those two non-edges.
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if (u == 0 && v == 1) || (u == 2 && v == 3) {
+				continue
+			}
+			cfg.SetEdge(u, v, true)
+		}
+	}
+	ci := NewClassIndex(cfg)
+	if ci.Enabled() != 2 {
+		t.Fatalf("want 2 enabled non-edges, got %d", ci.Enabled())
+	}
+	rng := NewRNG(5)
+	counts := map[[2]int]int{}
+	const draws = 2000
+	for i := 0; i < draws; i++ {
+		u, v := ci.Sample(rng)
+		if u > v {
+			u, v = v, u
+		}
+		if !(u == 0 && v == 1) && !(u == 2 && v == 3) {
+			t.Fatalf("sampled pair (%d,%d) outside the enabled set", u, v)
+		}
+		counts[[2]int{u, v}]++
+	}
+	for pair, c := range counts {
+		if c < draws/4 {
+			t.Fatalf("pair %v drawn %d of %d times — not uniform", pair, c, draws)
+		}
+	}
+}
+
+// TestSparseEngineRuns exercises core.Run with EngineSparse end to end
+// on the index battery, cross-checking final stability against the
+// brute-force scan.
+func TestSparseEngineRuns(t *testing.T) {
+	t.Parallel()
+	for name, p := range indexProtocols(t) {
+		p := p
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(p, 16, Options{Seed: 9, Engine: EngineSparse})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Engine != EngineSparse {
+				t.Fatalf("ran on %v, want sparse", res.Engine)
+			}
+			if !res.Converged {
+				t.Fatalf("did not converge: %+v", res)
+			}
+			if !res.Final.Quiescent() {
+				t.Fatalf("quiescence detector fired on a non-quiescent configuration")
+			}
+		})
+	}
+}
+
+// TestSparseEngineValidation pins the option errors and the
+// auto-selection boundaries of the sparse path.
+func TestSparseEngineValidation(t *testing.T) {
+	t.Parallel()
+	p := indexProtocols(t)["epidemic"]
+	if _, err := Run(p, 8, Options{Engine: EngineSparse, Scheduler: &RoundRobinScheduler{}}); err == nil {
+		t.Fatal("sparse engine accepted a non-uniform scheduler")
+	}
+	if _, err := Run(p, maxSparseNodes+1, Options{Engine: EngineSparse, MaxSteps: 1}); err == nil {
+		t.Fatal("sparse engine accepted a population above its cap")
+	}
+	// Auto picks sparse right above the fast-path boundary.
+	res, err := Run(p, maxAutoIndexNodes+1, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine != EngineSparse {
+		t.Fatalf("auto above maxAutoIndexNodes ran on %v, want sparse", res.Engine)
+	}
+	if !res.Converged {
+		t.Fatalf("epidemic did not converge: %+v", res)
+	}
+}
+
+// TestParseEngineSparse covers the flag/spec name round-trip.
+func TestParseEngineSparse(t *testing.T) {
+	t.Parallel()
+	e, err := ParseEngine("sparse")
+	if err != nil || e != EngineSparse {
+		t.Fatalf("ParseEngine(sparse) = %v, %v", e, err)
+	}
+	if EngineSparse.String() != "sparse" {
+		t.Fatalf("EngineSparse.String() = %q", EngineSparse.String())
+	}
+}

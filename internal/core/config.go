@@ -7,25 +7,33 @@ import (
 
 // Config is a configuration of the system: the state of every node and
 // of every (undirected) edge of the complete interaction graph. It also
-// maintains derived aggregates — per-node active degree and per-state
-// population counts — that convergence detectors use as O(1) gates.
+// maintains derived aggregates — per-node active degree, per-state
+// population counts, and the active-edge count — that convergence
+// detectors use as O(1) gates.
+//
+// Edge states live behind a storage strategy picked by population
+// size: a triangular bitset (Θ(n²) bits, O(1) access) up to
+// maxDenseEdgeNodes, per-node sorted adjacency sets (O(n + m) memory)
+// above it. Every Config method is storage-agnostic.
 type Config struct {
-	proto  *Protocol
-	n      int
-	nodes  []State
-	edges  bitset
-	degree []int32
-	counts []int // population per state
+	proto       *Protocol
+	n           int
+	nodes       []State
+	store       edgeStore
+	degree      []int32
+	counts      []int // population per state
+	activeEdges int
 }
 
 // NewConfig returns the initial configuration on n nodes: every node in
-// q0 and every edge inactive.
+// q0 and every edge inactive. Above the dense-storage threshold the
+// construction cost is O(n), not Θ(n²).
 func NewConfig(p *Protocol, n int) *Config {
 	c := &Config{
 		proto:  p,
 		n:      n,
 		nodes:  make([]State, n),
-		edges:  newBitset(pairCount(n)),
+		store:  newEdgeStore(n),
 		degree: make([]int32, n),
 		counts: make([]int, p.Size()),
 	}
@@ -39,12 +47,13 @@ func NewConfig(p *Protocol, n int) *Config {
 // Clone returns a deep copy of the configuration.
 func (c *Config) Clone() *Config {
 	d := &Config{
-		proto:  c.proto,
-		n:      c.n,
-		nodes:  make([]State, len(c.nodes)),
-		edges:  c.edges.clone(),
-		degree: make([]int32, len(c.degree)),
-		counts: make([]int, len(c.counts)),
+		proto:       c.proto,
+		n:           c.n,
+		nodes:       make([]State, len(c.nodes)),
+		store:       c.store.clone(),
+		degree:      make([]int32, len(c.degree)),
+		counts:      make([]int, len(c.counts)),
+		activeEdges: c.activeEdges,
 	}
 	copy(d.nodes, c.nodes)
 	copy(d.degree, c.degree)
@@ -72,23 +81,23 @@ func (c *Config) SetNode(u int, s State) {
 
 // Edge reports whether the edge {u, v} is active.
 func (c *Config) Edge(u, v int) bool {
-	return c.edges.get(pairIndex(c.n, u, v))
+	return c.store.get(u, v)
 }
 
-// SetEdge overwrites the state of edge {u, v}, maintaining degrees.
-// Like SetNode it is for initial-configuration setup.
+// SetEdge overwrites the state of edge {u, v}, maintaining degrees and
+// the active-edge count. Like SetNode it is for initial-configuration
+// setup.
 func (c *Config) SetEdge(u, v int, active bool) {
-	idx := pairIndex(c.n, u, v)
-	if c.edges.get(idx) == active {
+	if !c.store.set(u, v, active) {
 		return
 	}
-	c.edges.set(idx, active)
 	d := int32(-1)
 	if active {
 		d = 1
 	}
 	c.degree[u] += d
 	c.degree[v] += d
+	c.activeEdges += int(d)
 }
 
 // Degree returns the number of active edges incident to u.
@@ -112,18 +121,21 @@ func (c *Config) CountAll(dst []int) []int {
 	return dst
 }
 
-// ActiveEdges returns the number of active edges.
-func (c *Config) ActiveEdges() int { return c.edges.popcount() }
+// ActiveEdges returns the number of active edges in O(1), from the
+// counter maintained by SetEdge and Apply.
+func (c *Config) ActiveEdges() int { return c.activeEdges }
 
 // ActiveNeighbors appends the active neighbors of u to dst and returns
-// it.
+// it: O(deg u) on adjacency storage, O(n) on the dense bitset.
 func (c *Config) ActiveNeighbors(u int, dst []int) []int {
-	for v := 0; v < c.n; v++ {
-		if v != u && c.Edge(u, v) {
-			dst = append(dst, v)
-		}
-	}
-	return dst
+	return c.store.neighbors(u, dst)
+}
+
+// ForEachActiveEdge visits every active edge once as (u, v) with
+// u < v, in lexicographic order: O(m) on adjacency storage, O(n²/64)
+// on the dense bitset.
+func (c *Config) ForEachActiveEdge(fn func(u, v int)) {
+	c.store.forEach(fn)
 }
 
 // Apply executes one interaction on the unordered pair {u, v} using the
@@ -135,8 +147,7 @@ func (c *Config) ActiveNeighbors(u int, dst []int) []int {
 // differ, the winner is drawn equiprobably.
 func (c *Config) Apply(u, v int, rng *RNG) (effective, edgeChanged bool) {
 	a, b := c.nodes[u], c.nodes[v]
-	idx := pairIndex(c.n, u, v)
-	active := c.edges.get(idx)
+	active := c.store.get(u, v)
 	e := c.proto.lookup(a, b, active)
 	if !e.effective {
 		return false, false
@@ -163,13 +174,14 @@ func (c *Config) Apply(u, v int, rng *RNG) (effective, edgeChanged bool) {
 		c.nodes[v] = outB
 	}
 	if outEdge != active {
-		c.edges.set(idx, outEdge)
+		c.store.set(u, v, outEdge)
 		d := int32(-1)
 		if outEdge {
 			d = 1
 		}
 		c.degree[u] += d
 		c.degree[v] += d
+		c.activeEdges += int(d)
 		edgeChanged = true
 	}
 	return true, edgeChanged
@@ -204,24 +216,22 @@ func (c *Config) EdgeQuiescent() bool {
 }
 
 // Fingerprint returns a canonical byte encoding of the configuration
-// (node states followed by the edge bitset), suitable as a map key in
-// exhaustive state-space exploration.
+// (node states followed by the edge-set encoding), suitable as a map
+// key in exhaustive state-space exploration. Fingerprints are
+// comparable between configurations of the same population size (whose
+// storage kind, and therefore edge encoding, is identical).
 func (c *Config) Fingerprint() string {
 	var sb strings.Builder
-	sb.Grow(len(c.nodes) + len(c.edges)*8)
+	sb.Grow(len(c.nodes))
 	for _, s := range c.nodes {
 		sb.WriteByte(byte(s))
 	}
-	for _, w := range c.edges {
-		for shift := 0; shift < 64; shift += 8 {
-			sb.WriteByte(byte(w >> shift))
-		}
-	}
+	c.store.appendFingerprint(&sb)
 	return sb.String()
 }
 
 // String renders the configuration compactly for debugging: node states
-// by name and the active edge list.
+// by name and the active edge list (O(m) on adjacency storage).
 func (c *Config) String() string {
 	var sb strings.Builder
 	sb.WriteString("[")
@@ -233,17 +243,13 @@ func (c *Config) String() string {
 	}
 	sb.WriteString("] {")
 	first := true
-	for u := 0; u < c.n; u++ {
-		for v := u + 1; v < c.n; v++ {
-			if c.Edge(u, v) {
-				if !first {
-					sb.WriteByte(' ')
-				}
-				first = false
-				fmt.Fprintf(&sb, "%d-%d", u, v)
-			}
+	c.store.forEach(func(u, v int) {
+		if !first {
+			sb.WriteByte(' ')
 		}
-	}
+		first = false
+		fmt.Fprintf(&sb, "%d-%d", u, v)
+	})
 	sb.WriteString("}")
 	return sb.String()
 }

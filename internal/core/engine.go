@@ -90,11 +90,13 @@ type Options struct {
 	Seed uint64
 	// Scheduler defaults to the uniform random scheduler.
 	Scheduler Scheduler
-	// Engine selects the execution path. The default EngineAuto uses
-	// the fast enabled-pair-index engine under the uniform scheduler
+	// Engine selects the execution path. The default EngineAuto uses,
+	// under the uniform scheduler, the fast enabled-pair-index engine
 	// for populations up to 4096 (the index costs Θ(n²) memory) and
-	// the baseline loop otherwise; EngineBaseline and EngineFast force
-	// a path (forcing fast under a non-uniform scheduler is an error).
+	// the sparse state-class engine — O(n + m) memory — above that, up
+	// to 2²⁰ nodes; the baseline loop otherwise. EngineBaseline,
+	// EngineFast and EngineSparse force a path (forcing an indexed
+	// path under a non-uniform scheduler is an error).
 	Engine Engine
 	// Detector defaults to QuiescenceDetector.
 	Detector Detector
@@ -171,10 +173,17 @@ func DefaultMaxSteps(n int) int64 {
 	if n < 4 {
 		return 1 << 20
 	}
-	nn := int64(n)
-	budget := 200 * nn * nn * nn * nn
 	const ceiling = int64(1) << 40
-	if budget > ceiling || budget < 0 {
+	nn := int64(n)
+	// 200·n⁴ exceeds the ceiling from n = 273 on; comparing first also
+	// avoids int64 overflow, which at n = 2¹⁶ wraps to exactly zero
+	// (2¹⁶ raised to the 4th is 2⁶⁴) and used to produce a zero-step
+	// budget.
+	if nn > 272 {
+		return ceiling
+	}
+	budget := 200 * nn * nn * nn * nn
+	if budget > ceiling {
 		return ceiling
 	}
 	return budget
@@ -222,18 +231,23 @@ func Run(p *Protocol, n int, opts Options) (Result, error) {
 	engine := opts.Engine
 	switch engine {
 	case EngineAuto:
-		if uniformSchedule(sched) && n <= maxAutoIndexNodes {
+		switch {
+		case !uniformSchedule(sched):
+			engine = EngineBaseline
+		case n <= maxAutoIndexNodes:
 			engine = EngineFast
-		} else {
+		case n <= maxSparseNodes:
+			engine = EngineSparse
+		default:
 			engine = EngineBaseline
 		}
 	case EngineBaseline:
-	case EngineFast:
+	case EngineFast, EngineSparse:
 		if !uniformSchedule(sched) {
-			return Result{}, fmt.Errorf("core: the fast engine requires the uniform scheduler, not %q", sched.Name())
+			return Result{}, fmt.Errorf("core: the %s engine requires the uniform scheduler, not %q", engine, sched.Name())
 		}
-		if n >= maxIndexNodes {
-			return Result{}, fmt.Errorf("core: the fast engine supports populations below %d, got %d", maxIndexNodes, n)
+		if err := engine.ValidateN(n); err != nil {
+			return Result{}, err
 		}
 	default:
 		return Result{}, fmt.Errorf("core: unknown engine %d", int(opts.Engine))
@@ -254,13 +268,21 @@ func Run(p *Protocol, n int, opts Options) (Result, error) {
 
 	rng := NewRNG(opts.Seed)
 
-	if stable := det.Stable(cfg); n == 1 || stable {
-		// Already stable (or no pairs exist to ever interact).
-		return Result{Final: cfg, Engine: engine, Converged: stable}, nil
+	if n == 1 {
+		// No pairs exist to ever interact.
+		return Result{Final: cfg, Engine: engine, Converged: det.Stable(cfg)}, nil
 	}
 
-	if engine == EngineFast {
+	switch engine {
+	case EngineFast:
 		return runFast(p, cfg, det, opts, maxSteps, interval, rng)
+	case EngineSparse:
+		return runSparse(p, cfg, det, opts, maxSteps, interval, rng)
+	}
+	if det.Stable(cfg) {
+		// Already stable before any step. The indexed paths perform
+		// this check themselves, through their O(1) gates.
+		return Result{Final: cfg, Engine: engine, Converged: true}, nil
 	}
 	return runBaseline(p, cfg, det, opts, sched, maxSteps, interval, rng)
 }

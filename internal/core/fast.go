@@ -5,14 +5,16 @@ import "fmt"
 // Engine selects the execution path of Run.
 type Engine int
 
-// Engine values. EngineAuto picks the fast path whenever the schedule
-// is the uniform random scheduler (the only schedule whose law the
-// skip-sampling argument covers) and the population fits the index;
-// the explicit values force one path, which is how the equivalence
-// suite and the speedup benchmarks pin their subjects down.
+// Engine values. EngineAuto picks an index-backed path whenever the
+// schedule is the uniform random scheduler (the only schedule whose
+// law the skip-sampling argument covers) — the dense enabled-pair
+// index up to maxAutoIndexNodes, the sparse state-class engine above
+// it — and the baseline loop otherwise; the explicit values force one
+// path, which is how the equivalence suite and the speedup benchmarks
+// pin their subjects down.
 const (
-	// EngineAuto lets Run choose: fast under the uniform scheduler,
-	// baseline otherwise.
+	// EngineAuto lets Run choose: fast (small n) or sparse (large n)
+	// under the uniform scheduler, baseline otherwise.
 	EngineAuto Engine = iota
 	// EngineBaseline forces the step-by-step loop that simulates every
 	// scheduler draw individually.
@@ -20,6 +22,10 @@ const (
 	// EngineFast forces the enabled-pair-index engine; Run errors if the
 	// configured scheduler is not uniform.
 	EngineFast
+	// EngineSparse forces the state-class engine, whose memory and
+	// per-step cost scale with n + m instead of n²; Run errors if the
+	// configured scheduler is not uniform.
+	EngineSparse
 )
 
 // String returns the engine's flag/spec name.
@@ -31,13 +37,15 @@ func (e Engine) String() string {
 		return "baseline"
 	case EngineFast:
 		return "fast"
+	case EngineSparse:
+		return "sparse"
 	default:
 		return fmt.Sprintf("engine#%d", int(e))
 	}
 }
 
-// ParseEngine resolves a flag/spec name ("auto", "baseline", "fast";
-// "" means auto) to an Engine.
+// ParseEngine resolves a flag/spec name ("auto", "baseline", "fast",
+// "sparse"; "" means auto) to an Engine.
 func ParseEngine(s string) (Engine, error) {
 	switch s {
 	case "", "auto":
@@ -46,13 +54,33 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineBaseline, nil
 	case "fast":
 		return EngineFast, nil
+	case "sparse":
+		return EngineSparse, nil
 	default:
-		return EngineAuto, fmt.Errorf("core: unknown engine %q (known: auto, baseline, fast)", s)
+		return EngineAuto, fmt.Errorf("core: unknown engine %q (known: auto, baseline, fast, sparse)", s)
 	}
 }
 
+// ValidateN reports whether the engine supports a population of n
+// nodes — the same caps Run enforces, exposed so spec compilers can
+// reject an oversized grid before any trial runs instead of
+// collecting per-run failures.
+func (e Engine) ValidateN(n int) error {
+	switch e {
+	case EngineFast:
+		if n >= maxIndexNodes {
+			return fmt.Errorf("core: the fast engine supports populations below %d, got %d", maxIndexNodes, n)
+		}
+	case EngineSparse:
+		if n > maxSparseNodes {
+			return fmt.Errorf("core: the sparse engine supports populations up to %d, got %d", maxSparseNodes, n)
+		}
+	}
+	return nil
+}
+
 // uniformSchedule reports whether sched draws every pair independently
-// and uniformly each step — the precondition for the fast path.
+// and uniformly each step — the precondition for the indexed paths.
 func uniformSchedule(sched Scheduler) bool {
 	switch sched.(type) {
 	case UniformScheduler, *UniformScheduler:
@@ -68,16 +96,60 @@ func nextCheck(step, interval int64) int64 {
 	return (step/interval + 1) * interval
 }
 
-// runFast is the enabled-pair-index engine. It reproduces the law of
-// the baseline loop under the uniform scheduler without simulating the
-// ineffective steps:
+// pairSampler abstracts the incremental enabled-pair structure behind
+// the indexed engines: the dense PairIndex (fast) and the state-class
+// ClassIndex (sparse). Both answer the enabled counts the quiescence
+// gates need, draw uniformly random enabled pairs, and absorb applied
+// interactions — so runIndexed is the single implementation of the
+// geometric step-skipping law for both.
+type pairSampler interface {
+	enabledPairs() int64
+	edgeEnabledPairs() int64
+	samplePair(rng *RNG) (u, v int)
+	// applied is called after an effective Config.Apply on {u, v} with
+	// the pre-step node states and whether the edge flipped.
+	applied(u, v int, beforeU, beforeV State, edgeChanged bool)
+}
+
+// pairSampler adapter for PairIndex.
+
+func (ix *PairIndex) enabledPairs() int64     { return int64(len(ix.list)) }
+func (ix *PairIndex) edgeEnabledPairs() int64 { return int64(ix.edgeEnabled) }
+
+func (ix *PairIndex) samplePair(rng *RNG) (int, int) { return ix.Sample(rng) }
+
+func (ix *PairIndex) applied(u, v int, beforeU, beforeV State, _ bool) {
+	if ix.cfg.nodes[u] == beforeU && ix.cfg.nodes[v] == beforeV {
+		ix.UpdateEdge(u, v) // edge-only transition: O(1)
+	} else {
+		ix.Update(u, v)
+	}
+}
+
+// runFast is the enabled-pair-index engine: runIndexed over a dense
+// PairIndex (Θ(n²) memory, O(n) update per effective step).
+func runFast(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, interval int64, rng *RNG) (Result, error) {
+	return runIndexed(p, cfg, det, opts, maxSteps, interval, rng, NewPairIndex(cfg), EngineFast)
+}
+
+// runSparse is the state-class engine: runIndexed over a ClassIndex
+// (O(n + m + |Q|²) memory, O(deg + |Q|) update per effective step,
+// O(1) expected sampling). It simulates the same law as runFast and
+// the baseline; only the data structure scaling differs.
+func runSparse(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, interval int64, rng *RNG) (Result, error) {
+	return runIndexed(p, cfg, det, opts, maxSteps, interval, rng, NewClassIndex(cfg), EngineSparse)
+}
+
+// runIndexed is the shared engine behind EngineFast and EngineSparse.
+// It reproduces the law of the baseline loop under the uniform
+// scheduler without simulating the ineffective steps:
 //
 //   - each scheduler draw hits an enabled pair with probability
 //     m/|E_I| (m enabled pairs of n(n−1)/2), independently per step, so
 //     the run of misses before the next enabled hit is
 //     Geometric(m/|E_I|) — drawn in O(1) instead of simulated;
 //   - conditioned on hitting an enabled pair, the pair is uniform over
-//     the enabled set — sampled in O(1) from the index;
+//     the enabled set — sampled from the index;
 //   - skipped steps are exactly the draws on disabled pairs, which by
 //     definition change nothing, so every metric (ConvergenceTime,
 //     EffectiveSteps, EdgeChanges) and every observer callback sees the
@@ -88,25 +160,33 @@ func nextCheck(step, interval int64) int64 {
 //     which preserves the law of Result.Steps as well.
 //
 // Detectors carrying a Gate are evaluated from the index's O(1)
-// counters instead of their O(n²) scan predicate.
+// counters instead of their O(n²) scan predicate; that includes the
+// pre-loop already-stable check, so an indexed run never pays an O(n²)
+// scan at all.
 //
-// The caller (Run) has already resolved defaults, cloned the initial
-// configuration, and handled the trivial already-stable cases.
-func runFast(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, interval int64, rng *RNG) (Result, error) {
+// The caller (Run) has already resolved defaults and cloned the
+// initial configuration.
+func runIndexed(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, interval int64, rng *RNG, ix pairSampler, engine Engine) (Result, error) {
 	n := cfg.n
-	res := Result{Final: cfg, Engine: EngineFast}
-	ix := NewPairIndex(cfg)
-	total := float64(pairCount(n))
+	res := Result{Final: cfg, Engine: engine}
+	total := float64(n) * float64(n-1) / 2
 
 	stable := func() bool {
 		switch det.Gate {
 		case GateQuiescence:
-			return ix.Quiescent()
+			return ix.enabledPairs() == 0
 		case GateEdgeQuiescence:
-			return ix.EdgeQuiescent()
+			return ix.edgeEnabledPairs() == 0
 		default:
 			return det.Stable(cfg)
 		}
+	}
+
+	if stable() {
+		// Already stable before any step, matching the baseline's
+		// pre-loop check.
+		res.Converged = true
+		return res, nil
 	}
 
 	var step int64
@@ -126,7 +206,7 @@ func runFast(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, int
 		// budget" (also the enabled == 0 case: nothing can ever change
 		// again).
 		land := maxSteps + 1
-		if m := ix.Enabled(); m > 0 {
+		if m := ix.enabledPairs(); m > 0 {
 			if skip := rng.Geometric(float64(m) / total); skip < maxSteps-step {
 				land = step + skip + 1
 			}
@@ -151,18 +231,14 @@ func runFast(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, int
 		}
 
 		step = land
-		u, v := ix.Sample(rng)
+		u, v := ix.samplePair(rng)
 		beforeU, beforeV := cfg.nodes[u], cfg.nodes[v]
 		// An enabled pair can still take an ineffective probabilistic
 		// branch; that matches the baseline, which also counts such
 		// steps as ineffective.
 		effective, edgeChanged := cfg.Apply(u, v, rng)
 		if effective {
-			if cfg.nodes[u] == beforeU && cfg.nodes[v] == beforeV {
-				ix.UpdateEdge(u, v) // edge-only transition: O(1)
-			} else {
-				ix.Update(u, v)
-			}
+			ix.applied(u, v, beforeU, beforeV, edgeChanged)
 			recordEffective(&res, p, cfg, opts.Observer, step, u, v, beforeU, beforeV, edgeChanged)
 		}
 

@@ -137,7 +137,7 @@ func (ix *PairIndex) refresh(u, v int) {
 	}
 	cfg := ix.cfg
 	pi := pairIndex(cfg.n, u, v)
-	edge := cfg.edges.get(pi)
+	edge := cfg.store.get(u, v)
 	e := cfg.proto.lookup(cfg.nodes[u], cfg.nodes[v], edge)
 
 	if enabled := e.effective; enabled != (ix.pos[pi] >= 0) {

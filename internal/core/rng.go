@@ -21,6 +21,10 @@ func NewRNG(seed uint64) *RNG {
 // IntN returns a uniform integer in [0, n).
 func (r *RNG) IntN(n int) int { return r.src.IntN(n) }
 
+// Int64N returns a uniform int64 in [0, n) — used where pair counts
+// exceed 32 bits (the sparse engine's class weights at n ≈ 10⁶).
+func (r *RNG) Int64N(n int64) int64 { return r.src.Int64N(n) }
+
 // Coin returns true with probability 1/2.
 func (r *RNG) Coin() bool { return r.src.Uint64()&1 == 1 }
 

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// sparsifiedConfig returns a fresh all-q0 configuration forced onto
+// adjacency storage regardless of n, so the sparse strategy is
+// exercised at test-sized populations.
+func sparsifiedConfig(p *Protocol, n int) *Config {
+	cfg := NewConfig(p, n)
+	cfg.store = &sparseStore{n: n, adj: make([][]int32, n)}
+	return cfg
+}
+
+// TestStorageStrategySelection pins the threshold: dense bitset up to
+// maxDenseEdgeNodes, adjacency sets above.
+func TestStorageStrategySelection(t *testing.T) {
+	t.Parallel()
+	p := indexProtocols(t)["epidemic"]
+	if _, ok := NewConfig(p, 16).store.(*denseStore); !ok {
+		t.Fatal("small population should use the dense bitset")
+	}
+	big := NewConfig(p, maxDenseEdgeNodes+1)
+	if _, ok := big.store.(*sparseStore); !ok {
+		t.Fatal("large population should use adjacency storage")
+	}
+	// Clone preserves the storage kind.
+	if _, ok := big.Clone().store.(*sparseStore); !ok {
+		t.Fatal("Clone changed the storage kind")
+	}
+}
+
+// TestSparseStoreMatchesDense drives the two storage strategies with
+// the same random operation sequence and checks every read-side answer
+// agrees: Edge, Degree, ActiveEdges, ActiveNeighbors, ForEachActiveEdge
+// and String.
+func TestSparseStoreMatchesDense(t *testing.T) {
+	t.Parallel()
+	p := indexProtocols(t)["toggle"]
+	const n = 13
+	dense := NewConfig(p, n)
+	sparse := sparsifiedConfig(p, n)
+	rngOps := NewRNG(41)
+	check := func(step int) {
+		t.Helper()
+		if dense.ActiveEdges() != sparse.ActiveEdges() {
+			t.Fatalf("step %d: ActiveEdges %d vs %d", step, dense.ActiveEdges(), sparse.ActiveEdges())
+		}
+		for u := 0; u < n; u++ {
+			if dense.Degree(u) != sparse.Degree(u) {
+				t.Fatalf("step %d: Degree(%d) %d vs %d", step, u, dense.Degree(u), sparse.Degree(u))
+			}
+			for v := u + 1; v < n; v++ {
+				if dense.Edge(u, v) != sparse.Edge(u, v) {
+					t.Fatalf("step %d: Edge(%d,%d) %v vs %v", step, u, v, dense.Edge(u, v), sparse.Edge(u, v))
+				}
+			}
+			dn := dense.ActiveNeighbors(u, nil)
+			sn := sparse.ActiveNeighbors(u, nil)
+			if len(dn) != len(sn) {
+				t.Fatalf("step %d: ActiveNeighbors(%d) %v vs %v", step, u, dn, sn)
+			}
+			for i := range dn {
+				if dn[i] != sn[i] {
+					t.Fatalf("step %d: ActiveNeighbors(%d) %v vs %v", step, u, dn, sn)
+				}
+			}
+		}
+		if dense.String() != sparse.String() {
+			t.Fatalf("step %d: String diverged:\n%s\n%s", step, dense, sparse)
+		}
+	}
+	check(-1)
+	for step := 0; step < 1500; step++ {
+		u, v := rngOps.Pair(n)
+		if rngOps.Coin() {
+			active := rngOps.Coin()
+			dense.SetEdge(u, v, active)
+			sparse.SetEdge(u, v, active)
+		} else {
+			// Apply consumes randomness; use twin streams with the same
+			// seed so both configurations see identical coin flips.
+			seed := uint64(step)
+			effD, edgeD := dense.Apply(u, v, NewRNG(seed))
+			effS, edgeS := sparse.Apply(u, v, NewRNG(seed))
+			if effD != effS || edgeD != edgeS {
+				t.Fatalf("step %d: Apply diverged (%v,%v) vs (%v,%v)", step, effD, edgeD, effS, edgeS)
+			}
+		}
+		if step%50 == 0 {
+			check(step)
+		}
+	}
+	check(1500)
+}
+
+// TestSparseForEachOrder pins ForEachActiveEdge's contract on both
+// storages: each active edge exactly once, u < v, lexicographic order.
+func TestSparseForEachOrder(t *testing.T) {
+	t.Parallel()
+	p := indexProtocols(t)["epidemic"]
+	for _, cfg := range []*Config{NewConfig(p, 11), sparsifiedConfig(p, 11)} {
+		rng := NewRNG(17)
+		for u := 0; u < 11; u++ {
+			for v := u + 1; v < 11; v++ {
+				cfg.SetEdge(u, v, rng.Coin())
+			}
+		}
+		var got [][2]int
+		cfg.ForEachActiveEdge(func(u, v int) { got = append(got, [2]int{u, v}) })
+		if len(got) != cfg.ActiveEdges() {
+			t.Fatalf("visited %d edges, counter says %d", len(got), cfg.ActiveEdges())
+		}
+		for i, e := range got {
+			if e[0] >= e[1] {
+				t.Fatalf("edge %v not upper-triangular", e)
+			}
+			if i > 0 && !(got[i-1][0] < e[0] || (got[i-1][0] == e[0] && got[i-1][1] < e[1])) {
+				t.Fatalf("edges out of order: %v before %v", got[i-1], e)
+			}
+		}
+	}
+}
+
+// TestSparseFingerprintDistinguishes mirrors the dense fingerprint
+// test on adjacency storage: distinct edge sets and node states must
+// produce distinct canonical encodings, equal ones equal encodings.
+func TestSparseFingerprintDistinguishes(t *testing.T) {
+	t.Parallel()
+	p := indexProtocols(t)["toggle"]
+	a := sparsifiedConfig(p, 6)
+	b := sparsifiedConfig(p, 6)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical configurations fingerprint differently")
+	}
+	b.SetEdge(1, 4, true)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("edge difference not reflected in fingerprint")
+	}
+	c := b.Clone()
+	if b.Fingerprint() != c.Fingerprint() {
+		t.Fatal("clone fingerprints differently")
+	}
+	c.SetNode(2, 1)
+	if b.Fingerprint() == c.Fingerprint() {
+		t.Fatal("state difference not reflected in fingerprint")
+	}
+	// Length-prefixed rows must not alias across nodes: edge {0,1}
+	// versus edge {1,2} with identical states.
+	d := sparsifiedConfig(p, 3)
+	e := sparsifiedConfig(p, 3)
+	d.SetEdge(0, 1, true)
+	e.SetEdge(1, 2, true)
+	if d.Fingerprint() == e.Fingerprint() {
+		t.Fatal("different edges alias in fingerprint")
+	}
+}
+
+// TestSparseCloneIndependence checks that mutating a clone never leaks
+// into the original through shared adjacency rows.
+func TestSparseCloneIndependence(t *testing.T) {
+	t.Parallel()
+	p := indexProtocols(t)["epidemic"]
+	cfg := sparsifiedConfig(p, 8)
+	cfg.SetEdge(0, 1, true)
+	cfg.SetEdge(0, 2, true)
+	clone := cfg.Clone()
+	clone.SetEdge(0, 1, false)
+	clone.SetEdge(3, 4, true)
+	if !cfg.Edge(0, 1) || cfg.Edge(3, 4) {
+		t.Fatal("clone mutation leaked into the original")
+	}
+	if cfg.ActiveEdges() != 2 || clone.ActiveEdges() != 2 {
+		t.Fatalf("active counts wrong: %d, %d", cfg.ActiveEdges(), clone.ActiveEdges())
+	}
+	if !strings.Contains(cfg.String(), "0-1") {
+		t.Fatalf("original lost its edge list: %s", cfg)
+	}
+}
+
+// TestActiveEdgesCounter pins the O(1) counter against the stored edge
+// set through a mixed SetEdge/Apply workload on both storages.
+func TestActiveEdgesCounter(t *testing.T) {
+	t.Parallel()
+	p := indexProtocols(t)["toggle"]
+	for _, cfg := range []*Config{NewConfig(p, 12), sparsifiedConfig(p, 12)} {
+		rng := NewRNG(29)
+		for step := 0; step < 1000; step++ {
+			u, v := rng.Pair(12)
+			if rng.Coin() {
+				cfg.SetEdge(u, v, rng.Coin())
+			} else {
+				cfg.Apply(u, v, rng)
+			}
+		}
+		count := 0
+		cfg.ForEachActiveEdge(func(_, _ int) { count++ })
+		if cfg.ActiveEdges() != count {
+			t.Fatalf("ActiveEdges() = %d, edge walk found %d", cfg.ActiveEdges(), count)
+		}
+	}
+}

@@ -51,6 +51,16 @@ func (g *Graph) AddEdge(u, v int) {
 	g.adj[v] = append(g.adj[v], u)
 }
 
+// AddEdgeUnchecked inserts the undirected edge {u, v} without
+// AddEdge's duplicate scan: O(1). The caller must guarantee u ≠ v,
+// both endpoints in range, and that the edge is not already present —
+// e.g. when streaming each edge exactly once from
+// core.Config.ForEachActiveEdge.
+func (g *Graph) AddEdgeUnchecked(u, v int) {
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+}
+
 // HasEdge reports whether {u, v} is present.
 func (g *Graph) HasEdge(u, v int) bool {
 	if u < 0 || v < 0 || u >= g.n || v >= g.n {

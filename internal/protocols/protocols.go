@@ -27,9 +27,13 @@ type Constructor struct {
 
 // ActiveGraph returns the graph induced by all nodes and the active
 // edges — the output graph for protocols whose every state is an
-// output state.
+// output state. It streams the configuration's edge set, so it costs
+// O(n + m) on adjacency-backed configurations instead of the n²
+// edge-oracle probes of graph.FromPairs.
 func ActiveGraph(cfg *core.Config) *graph.Graph {
-	return graph.FromPairs(cfg.N(), cfg.Edge)
+	g := graph.New(cfg.N())
+	cfg.ForEachActiveEdge(g.AddEdgeUnchecked)
+	return g
 }
 
 // OutputGraph returns the paper's output graph: the subgraph induced by
