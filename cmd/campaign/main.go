@@ -10,6 +10,7 @@
 //	campaign -spec sweep.json -workers 8 -format csv -out results.csv
 //	campaign -name cycle-cover -sizes 32,64,128 -trials 20 -seed 1
 //	campaign -name One-Way-Epidemic -kind process -sizes 64,128
+//	campaign -name simple-global-line -sizes 24 -faults "crash@576,crash@1152" -metric largest-component
 //	campaign -list
 //
 // Aggregates are bit-identical for a fixed spec regardless of -workers.
@@ -30,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/processes"
 	"repro/internal/protocols"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -50,6 +52,9 @@ func run() error {
 		sched    = flag.String("schedulers", "uniform", "comma-separated scheduler names")
 		metric   = flag.String("metric", "", "measured quantity (default: convergence-time for protocols, steps for processes)")
 		engine   = flag.String("engine", "auto", "execution path: auto, baseline, fast, or sparse")
+		detector = flag.String("detector", "", "stability predicate: target (default), quiescence, or edge-quiescence; fault runs default to quiescence")
+		faults   = flag.String("faults", "", `fault plan for every item, e.g. "crash@500x2,edge@0.001" (spec files carry their own "faults" field)`)
+		inclUnc  = flag.Bool("include-unconverged", false, "fold budget-exhausted runs' metric values into the aggregates (survivability sweeps)")
 		maxSteps = flag.Int64("max-steps", 0, "per-run step budget (0 = per-n default)")
 		workers  = flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 0, "per-run wall-clock cap (0 = none)")
@@ -77,7 +82,7 @@ func run() error {
 		return fmt.Errorf("unknown format %q (known: json, csv)", *format)
 	}
 
-	spec, err := loadSpec(*specPath, *name, *kind, *sizes, *trials, *seed, *sched, *metric, *engine, *maxSteps)
+	spec, err := loadSpec(*specPath, *name, *kind, *sizes, *trials, *seed, *sched, *metric, *engine, *detector, *faults, *inclUnc, *maxSteps)
 	if err != nil {
 		return err
 	}
@@ -138,16 +143,29 @@ func run() error {
 }
 
 // loadSpec reads the spec file or assembles a single-item spec from
-// flags. Spec files carry their own "engine" field, so combining
-// -spec with an explicit -engine is rejected rather than silently
-// ignored.
-func loadSpec(specPath, name, kind, sizes string, trials int, seed uint64, sched, metric, engine string, maxSteps int64) (campaign.Spec, error) {
+// flags. Spec files carry their own "engine", "detector" and "faults"
+// fields, so combining -spec with those flags is rejected rather than
+// silently ignored.
+func loadSpec(specPath, name, kind, sizes string, trials int, seed uint64, sched, metric, engine, detector, faults string, inclUnc bool, maxSteps int64) (campaign.Spec, error) {
 	if _, err := core.ParseEngine(engine); err != nil {
+		return campaign.Spec{}, err
+	}
+	plan, err := scenario.ParsePlan(faults)
+	if err != nil {
 		return campaign.Spec{}, err
 	}
 	if specPath != "" {
 		if engine != "" && engine != "auto" {
 			return campaign.Spec{}, fmt.Errorf("-engine cannot be combined with -spec; set the spec's \"engine\" field instead")
+		}
+		if detector != "" {
+			return campaign.Spec{}, fmt.Errorf("-detector cannot be combined with -spec; set the spec's \"detector\" field instead")
+		}
+		if plan != nil {
+			return campaign.Spec{}, fmt.Errorf("-faults cannot be combined with -spec; set the spec's \"faults\" field instead")
+		}
+		if inclUnc {
+			return campaign.Spec{}, fmt.Errorf("-include-unconverged cannot be combined with -spec; set the spec's \"include_unconverged\" field instead")
 		}
 		var r io.Reader = os.Stdin
 		if specPath != "-" {
@@ -168,13 +186,16 @@ func loadSpec(specPath, name, kind, sizes string, trials int, seed uint64, sched
 		return campaign.Spec{}, err
 	}
 	return campaign.Spec{
-		Items:      []campaign.Item{{Name: name, Kind: kind, Sizes: ns}},
-		Trials:     trials,
-		Seed:       seed,
-		Schedulers: splitList(sched),
-		Metric:     metric,
-		Engine:     engine,
-		MaxSteps:   maxSteps,
+		Items:              []campaign.Item{{Name: name, Kind: kind, Sizes: ns}},
+		Trials:             trials,
+		Seed:               seed,
+		Schedulers:         splitList(sched),
+		Metric:             metric,
+		Engine:             engine,
+		Detector:           detector,
+		Faults:             plan,
+		IncludeUnconverged: inclUnc,
+		MaxSteps:           maxSteps,
 	}, nil
 }
 

@@ -9,7 +9,7 @@
 //	fig8.txt     the (U,D,M) construction event trace
 //	supernodes.txt  the Theorem 18 layout and triangle application
 //
-// Usage: figures [-n 16] [-seed 1] [-out figures/]
+// Usage: figures [-n 16] [-seed 1] [-out figures/] [-engine auto]
 package main
 
 import (
@@ -34,25 +34,30 @@ func main() {
 
 func run() error {
 	var (
-		n    = flag.Int("n", 16, "population size for snapshots")
-		seed = flag.Uint64("seed", 1, "RNG seed")
-		out  = flag.String("out", "figures", "output directory")
+		n      = flag.Int("n", 16, "population size for snapshots")
+		seed   = flag.Uint64("seed", 1, "RNG seed")
+		out    = flag.String("out", "figures", "output directory")
+		engine = flag.String("engine", "auto", "execution path for the snapshot runs: auto, baseline, fast, or sparse")
 	)
 	flag.Parse()
+	eng, err := core.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return err
 	}
 
-	if err := fig1(*n, *seed, *out); err != nil {
+	if err := fig1(*n, *seed, *out, eng); err != nil {
 		return err
 	}
-	if err := fig2(*n, *seed, *out); err != nil {
+	if err := fig2(*n, *seed, *out, eng); err != nil {
 		return err
 	}
 	if err := fig3(*n, *seed, *out); err != nil {
 		return err
 	}
-	if err := partitions(*n, *seed, *out); err != nil {
+	if err := partitions(*n, *seed, *out, eng); err != nil {
 		return err
 	}
 	return supernodes(*seed, *out)
@@ -61,10 +66,10 @@ func run() error {
 // fig1 reproduces the spanning-star triptych: all-black start, a
 // mid-run configuration with several surviving centers, and the stable
 // star.
-func fig1(n int, seed uint64, out string) error {
+func fig1(n int, seed uint64, out string, engine core.Engine) error {
 	c := protocols.GlobalStar()
 	rec := trace.NewRecorder(256)
-	res, err := core.Run(c.Proto, n, core.Options{Seed: seed, Detector: c.Detector, Observer: rec})
+	res, err := core.Run(c.Proto, n, core.Options{Seed: seed, Engine: engine, Detector: c.Detector, Observer: rec})
 	if err != nil {
 		return err
 	}
@@ -81,10 +86,10 @@ func fig1(n int, seed uint64, out string) error {
 
 // fig2 captures a typical mid-run Simple-Global-Line configuration:
 // several disjoint lines with l- or w-leaders plus isolated q0 nodes.
-func fig2(n int, seed uint64, out string) error {
+func fig2(n int, seed uint64, out string, engine core.Engine) error {
 	c := protocols.SimpleGlobalLine()
 	rec := trace.NewRecorder(256)
-	res, err := core.Run(c.Proto, n, core.Options{Seed: seed, Detector: c.Detector, Observer: rec})
+	res, err := core.Run(c.Proto, n, core.Options{Seed: seed, Engine: engine, Detector: c.Detector, Observer: rec})
 	if err != nil {
 		return err
 	}
@@ -111,9 +116,9 @@ func fig3(n int, seed uint64, out string) error {
 
 // partitions renders the U/D matching (Fig. 4) and the U/D/M
 // partition (Figs. 7–8).
-func partitions(n int, seed uint64, out string) error {
+func partitions(n int, seed uint64, out string, engine core.Engine) error {
 	p, det := universal.PartitionUD()
-	res, err := core.Run(p, n, core.Options{Seed: seed, Detector: det})
+	res, err := core.Run(p, n, core.Options{Seed: seed, Engine: engine, Detector: det})
 	if err != nil {
 		return err
 	}
@@ -122,7 +127,7 @@ func partitions(n int, seed uint64, out string) error {
 	}
 
 	p3, det3 := universal.PartitionUDM()
-	res3, err := core.Run(p3, n+n%3, core.Options{Seed: seed, Detector: det3})
+	res3, err := core.Run(p3, n+n%3, core.Options{Seed: seed, Engine: engine, Detector: det3})
 	if err != nil {
 		return err
 	}

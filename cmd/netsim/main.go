@@ -7,6 +7,8 @@
 // Usage:
 //
 //	netsim -protocol global-star -n 50 -trials 5 -seed 1 [-workers 4] [-engine fast] [-dot]
+//	netsim -protocol simple-global-line -n 32 -faults "crash@500x2,edge@0.001"
+//	netsim -protocol cycle-cover -n 32 -scheduler weighted
 //	netsim -list
 package main
 
@@ -19,6 +21,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/protocols"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -30,14 +33,17 @@ func main() {
 
 func run() error {
 	var (
-		name    = flag.String("protocol", "global-star", "protocol name (see -list)")
-		n       = flag.Int("n", 50, "population size")
-		trials  = flag.Int("trials", 3, "independent runs")
-		seed    = flag.Uint64("seed", 1, "base RNG seed")
-		workers = flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
-		engine  = flag.String("engine", "auto", "execution path: auto, baseline, fast, or sparse")
-		dot     = flag.Bool("dot", false, "print the final network as Graphviz DOT")
-		list    = flag.Bool("list", false, "list registered protocols and exit")
+		name     = flag.String("protocol", "global-star", "protocol name (see -list)")
+		n        = flag.Int("n", 50, "population size")
+		trials   = flag.Int("trials", 3, "independent runs")
+		seed     = flag.Uint64("seed", 1, "base RNG seed")
+		workers  = flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
+		engine   = flag.String("engine", "auto", "execution path: auto, baseline, fast, or sparse")
+		sched    = flag.String("scheduler", "uniform", "scheduler: uniform, round-robin, permutation, weighted, or biased")
+		faults   = flag.String("faults", "", `fault plan, e.g. "crash@500x2,edge@0.001,reset@1000"`)
+		detector = flag.String("detector", "", "stability predicate: target (default), quiescence, or edge-quiescence; fault runs default to quiescence")
+		dot      = flag.Bool("dot", false, "print the final network as Graphviz DOT")
+		list     = flag.Bool("list", false, "list registered protocols and exit")
 	)
 	flag.Parse()
 
@@ -60,20 +66,48 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("protocol %s (%d states) on n=%d, %d trial(s), %s engine\n",
-		c.Proto.Name(), c.Proto.Size(), *n, *trials, eng)
+	factory, err := campaign.SchedulerFactory(*sched)
+	if err != nil {
+		return err
+	}
+	plan, err := scenario.ParsePlan(*faults)
+	if err != nil {
+		return err
+	}
+	det := c.Detector
+	detOverride, haveDet, err := campaign.ParseDetector(*detector)
+	switch {
+	case err != nil:
+		return err
+	case haveDet:
+		det = detOverride
+	case *detector == "" && plan != nil:
+		// Target detectors assume the fault-free goal is reachable;
+		// under faults quiescence is the honest default stop rule. An
+		// explicit -detector target keeps the registry detector.
+		det = core.QuiescenceDetector()
+		fmt.Println("faults present: using the quiescence detector (override with -detector)")
+	}
+	fmt.Printf("protocol %s (%d states) on n=%d, %d trial(s), %s engine, %s scheduler\n",
+		c.Proto.Name(), c.Proto.Size(), *n, *trials, eng, *sched)
+	if plan != nil {
+		fmt.Printf("fault plan: %s\n", plan)
+	}
 
 	var lastConvergedSeed uint64
 	haveConverged := false
 	out, err := campaign.Execute(context.Background(), []campaign.Point{{
-		Protocol: c.Proto.Name(),
-		N:        *n,
-		Trials:   *trials,
-		BaseSeed: *seed,
-		Proto:    c.Proto,
-		Detector: c.Detector,
-		Engine:   eng,
-		Metric:   campaign.MetricConvergenceTime,
+		Protocol:     c.Proto.Name(),
+		N:            *n,
+		Scheduler:    *sched,
+		Trials:       *trials,
+		BaseSeed:     *seed,
+		Proto:        c.Proto,
+		Detector:     det,
+		Engine:       eng,
+		NewScheduler: factory,
+		Faults:       plan,
+		Metric:       campaign.MetricConvergenceTime,
 	}}, campaign.Options{
 		Workers: *workers,
 		OnRun: func(rec campaign.RunRecord) {
@@ -81,8 +115,12 @@ func run() error {
 				fmt.Printf("  trial %d: DID NOT CONVERGE within %d steps\n", rec.Trial, rec.Steps)
 				return
 			}
-			fmt.Printf("  trial %d: converged at step %d (%d effective, %d edge changes)\n",
-				rec.Trial, rec.ConvergenceTime, rec.EffectiveSteps, rec.EdgeChanges)
+			faultNote := ""
+			if applied := rec.FaultCrashes + rec.FaultEdgeDeletions + rec.FaultResets; applied > 0 {
+				faultNote = fmt.Sprintf(", %d faults", applied)
+			}
+			fmt.Printf("  trial %d: converged at step %d (%d effective, %d edge changes%s)\n",
+				rec.Trial, rec.ConvergenceTime, rec.EffectiveSteps, rec.EdgeChanges, faultNote)
 			lastConvergedSeed = rec.Seed
 			haveConverged = true
 		},
@@ -97,18 +135,32 @@ func run() error {
 	}
 	if *dot && haveConverged {
 		// Replay the last converged trial sequentially — runs are
-		// deterministic in (protocol, n, seed, engine), so this recovers
-		// the exact final configuration the campaign measured.
-		res, err := core.Run(c.Proto, *n, core.Options{Seed: lastConvergedSeed, Engine: eng, Detector: c.Detector})
+		// deterministic in (protocol, n, seed, scheduler, faults,
+		// engine), so this recovers the exact final configuration the
+		// campaign measured.
+		opts := core.Options{Seed: lastConvergedSeed, Engine: eng, Detector: det}
+		proto := c.Proto
+		if factory != nil {
+			opts.Scheduler = factory()
+		}
+		if plan != nil {
+			prepared, err := plan.Prepare(c.Proto)
+			if err != nil {
+				return err
+			}
+			proto = prepared.Proto
+			opts.Injector = prepared.NewInjection(lastConvergedSeed)
+		}
+		res, err := core.Run(proto, *n, opts)
 		if err != nil {
 			return err
 		}
 		g := protocols.ActiveGraph(res.Final)
 		labels := make([]string, res.Final.N())
 		for u := 0; u < res.Final.N(); u++ {
-			labels[u] = c.Proto.StateName(res.Final.Node(u))
+			labels[u] = proto.StateName(res.Final.Node(u))
 		}
-		fmt.Println(g.DOT(c.Proto.Name(), labels))
+		fmt.Println(g.DOT(proto.Name(), labels))
 	}
 	return nil
 }

@@ -8,7 +8,7 @@
 //     counts (verified programmatically) and measured convergence-time
 //     sweeps, plus the Section 7 Faster-vs-Fast comparison.
 //
-// Usage: tables [-trials 5] [-seed 1] [-quick]
+// Usage: tables [-trials 5] [-seed 1] [-quick] [-engine auto]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/processes"
 	"repro/internal/protocols"
@@ -33,21 +34,26 @@ func run() error {
 		trials = flag.Int("trials", 5, "trials per (process, n) cell")
 		seed   = flag.Uint64("seed", 1, "base RNG seed")
 		quick  = flag.Bool("quick", false, "smaller sweeps for a fast pass")
+		engine = flag.String("engine", "auto", "execution path: auto, baseline, fast, or sparse")
 	)
 	flag.Parse()
 
-	if err := table1(*trials, *seed, *quick); err != nil {
+	eng, err := core.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
+	if err := table1(*trials, *seed, *quick, eng); err != nil {
 		return err
 	}
 	fmt.Println()
-	if err := table2(*trials, *seed, *quick); err != nil {
+	if err := table2(*trials, *seed, *quick, eng); err != nil {
 		return err
 	}
 	fmt.Println()
-	return fasterVsFast(*trials, *seed, *quick)
+	return fasterVsFast(*trials, *seed, *quick, eng)
 }
 
-func table1(trials int, seed uint64, quick bool) error {
+func table1(trials int, seed uint64, quick bool, engine core.Engine) error {
 	sizes := experiments.Table1Sizes()
 	if quick {
 		sizes = sizes[:4]
@@ -55,7 +61,7 @@ func table1(trials int, seed uint64, quick bool) error {
 	fmt.Println("Table 1 — fundamental probabilistic processes (expected time to convergence)")
 	fmt.Printf("%-24s %-14s %-10s %-14s %-10s\n", "Process", "Paper", "fit α", "ratio spread", "mean@max-n")
 	for _, proc := range processes.All() {
-		series, err := experiments.MeasureProcess(proc, sizes, trials, seed)
+		series, err := experiments.MeasureProcess(proc, sizes, trials, seed, engine)
 		if err != nil {
 			return err
 		}
@@ -74,7 +80,7 @@ func table1(trials int, seed uint64, quick bool) error {
 	return nil
 }
 
-func table2(trials int, seed uint64, quick bool) error {
+func table2(trials int, seed uint64, quick bool, engine core.Engine) error {
 	fmt.Println("Table 2 — protocols (states, measured expected convergence time)")
 	fmt.Printf("%-22s %-7s %-18s %-10s %s\n", "Protocol", "states", "Paper time", "fit α", "mean steps per n")
 	rows := []struct {
@@ -99,7 +105,7 @@ func table2(trials int, seed uint64, quick bool) error {
 		if quick && len(sizes) > 3 {
 			sizes = sizes[:3]
 		}
-		series, err := experiments.MeasureProtocol(c, sizes, trials, seed)
+		series, err := experiments.MeasureProtocol(c, sizes, trials, seed, engine)
 		if err != nil {
 			return err
 		}
@@ -118,7 +124,7 @@ func table2(trials int, seed uint64, quick bool) error {
 	if quick {
 		sizes = sizes[:2]
 	}
-	series, err := experiments.MeasureReplication(sizes, trials, seed)
+	series, err := experiments.MeasureReplication(sizes, trials, seed, engine)
 	if err != nil {
 		return err
 	}
@@ -135,12 +141,12 @@ func table2(trials int, seed uint64, quick bool) error {
 	return nil
 }
 
-func fasterVsFast(trials int, seed uint64, quick bool) error {
+func fasterVsFast(trials int, seed uint64, quick bool, engine core.Engine) error {
 	sizes := []int{8, 16, 24, 32, 48, 64}
 	if quick {
 		sizes = sizes[:4]
 	}
-	cmp, err := experiments.CompareLineProtocols(sizes, trials, seed)
+	cmp, err := experiments.CompareLineProtocols(sizes, trials, seed, engine)
 	if err != nil {
 		return err
 	}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/processes"
 	"repro/internal/protocols"
+	"repro/internal/scenario"
 )
 
 // indexedEngines are the execution paths measured against the
@@ -148,6 +149,91 @@ func TestEngineEquivalence(t *testing.T) {
 						b.Mean, b.StdErr, engine, f.Mean, f.StdErr, diff, bound)
 				}
 			})
+		}
+	}
+}
+
+// TestEngineEquivalenceFaults extends the distributional-equivalence
+// net to the scenario layer: a fixed fault plan (two crashes, two edge
+// deletions, one reset — all before the first possible detection poll,
+// so every run absorbs the full plan) must produce identical
+// convergence semantics and survivability distributions on all three
+// engines. The subjects quiesce under any fault sequence (their state
+// progressions are monotone up to the finitely many resets), so every
+// trial must converge.
+//
+// CI greps this test's -v output for the faults= subtests (in addition
+// to the engine= greps), so the fault half of the suite cannot
+// silently stop running; keep the naming scheme in sync with
+// .github/workflows/ci.yml.
+func TestEngineEquivalenceFaults(t *testing.T) {
+	t.Parallel()
+	trials := 48
+	if testing.Short() {
+		trials = 16
+	}
+	plan := &scenario.FaultPlan{Seed: 11, Events: []scenario.Fault{
+		{Kind: scenario.KindCrash, Step: 40},
+		{Kind: scenario.KindEdge, Step: 90, Count: 2},
+		{Kind: scenario.KindReset, Step: 140},
+		{Kind: scenario.KindCrash, Step: 200},
+	}}
+	subjects := []struct {
+		name string
+		c    protocols.Constructor
+		n    int
+	}{
+		{"cycle-cover", protocols.CycleCover(), 16},
+		{"global-star", protocols.GlobalStar(), 16},
+		{"spanning-net", protocols.SpanningNet(), 16},
+	}
+
+	execute := func(engine core.Engine) campaign.Outcome {
+		t.Helper()
+		points := make([]campaign.Point, 0, len(subjects))
+		for _, sub := range subjects {
+			points = append(points, campaign.Point{
+				Protocol: sub.name, N: sub.n, Trials: trials, BaseSeed: 1,
+				Proto: sub.c.Proto, Detector: core.QuiescenceDetector(),
+				Engine: engine, Faults: plan, Metric: campaign.MetricLargestComponent,
+			})
+		}
+		out, err := campaign.Execute(context.Background(), points, campaign.Options{KeepRuns: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	base := execute(core.EngineBaseline)
+	for _, engine := range indexedEngines {
+		engine := engine
+		subject := execute(engine)
+		for i := range base.Aggregates {
+			b, f := base.Aggregates[i], subject.Aggregates[i]
+			name := fmt.Sprintf("faults=%s/%s/engine=%s", plan, b.Protocol, engine)
+			t.Run(name, func(t *testing.T) {
+				if b.Converged != b.Trials || b.Failures != 0 {
+					t.Fatalf("baseline convergence semantics under faults: %+v", b)
+				}
+				if f.Converged != f.Trials || f.Failures != 0 {
+					t.Fatalf("%s convergence semantics under faults: %+v", engine, f)
+				}
+				diff := math.Abs(b.Mean - f.Mean)
+				bound := 5 * math.Hypot(b.StdErr, f.StdErr)
+				if diff > bound {
+					t.Fatalf("survivability means diverged: baseline %.2f±%.2f vs %s %.2f±%.2f (|Δ|=%.2f > 5σ=%.2f)",
+						b.Mean, b.StdErr, engine, f.Mean, f.StdErr, diff, bound)
+				}
+			})
+		}
+		// Every run on every engine must have absorbed the full plan:
+		// the crashes and the reset always find victims, and by step 90
+		// an active edge always exists on these subjects.
+		for _, rec := range append(append([]campaign.RunRecord{}, base.Runs...), subject.Runs...) {
+			if rec.FaultCrashes != 2 || rec.FaultResets != 1 || rec.FaultEdgeDeletions < 1 {
+				t.Fatalf("run absorbed a partial plan: %+v", rec)
+			}
 		}
 	}
 }

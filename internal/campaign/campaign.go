@@ -25,11 +25,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 )
 
@@ -55,6 +57,67 @@ func MetricEdgeChanges(res core.Result, _ int) float64 { return float64(res.Edge
 
 // MetricParallelTime returns the footnote-5 parallel-time estimate.
 func MetricParallelTime(res core.Result, n int) float64 { return res.ParallelTime(n) }
+
+// MetricLargestComponent returns the size of the largest connected
+// component of the final output graph — the nodes in Qout plus the
+// active edges joining them. It is the survivability measure of fault
+// campaigns: crashed nodes leave Qout, so what remains is the largest
+// structure the protocol salvaged. NaN when the run carries no final
+// configuration (dynamic points).
+func MetricLargestComponent(res core.Result, _ int) float64 {
+	largest, _ := outputComponents(res.Final)
+	return largest
+}
+
+// MetricComponents returns the number of connected components of the
+// final output graph (isolated output nodes count as singletons) —
+// under crash faults on a line builder this is the "partition into
+// smaller lines" count the fault-tolerance literature predicts.
+func MetricComponents(res core.Result, _ int) float64 {
+	_, count := outputComponents(res.Final)
+	return count
+}
+
+// outputComponents measures the final output graph with a union-find
+// over the active edges whose endpoints are both in Qout: O(n + m α).
+func outputComponents(cfg *core.Config) (largest, count float64) {
+	if cfg == nil {
+		return math.NaN(), math.NaN()
+	}
+	n := cfg.N()
+	p := cfg.Protocol()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	find := func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	cfg.ForEachActiveEdge(func(u, v int) {
+		if p.IsOutput(cfg.Node(u)) && p.IsOutput(cfg.Node(v)) {
+			if ru, rv := find(u), find(v); ru != rv {
+				parent[ru] = rv
+			}
+		}
+	})
+	size := make(map[int]int)
+	for u := 0; u < n; u++ {
+		if p.IsOutput(cfg.Node(u)) {
+			size[find(u)]++
+		}
+	}
+	maxSize := 0
+	for _, s := range size {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	return float64(maxSize), float64(len(size))
+}
 
 // Point is one fully-resolved cell of a campaign grid: a protocol on a
 // population size under a scheduler, measured over Trials runs with
@@ -116,6 +179,40 @@ type Point struct {
 	// (Stopped=true). It is called concurrently from every run of this
 	// point, so it must be safe for concurrent use.
 	Stop func() bool
+
+	// Faults, when non-nil, injects the plan into every run of this
+	// point: each trial mints a fresh injector seeded from its run
+	// seed, so trials are independent and reproducible. Plans that
+	// crash nodes run an augmented protocol (the crash sink of
+	// scenario.Crashable) and therefore require the default all-q0
+	// initial configuration — a caller-built Initial would belong to
+	// the unaugmented protocol.
+	Faults *scenario.FaultPlan
+
+	// IncludeUnconverged additionally folds the metric of runs that
+	// exhausted their step budget into the aggregate (they still count
+	// as Failures). Survivability campaigns measure the final
+	// configuration at a fixed budget, where "the run kept going" is
+	// data, not a measurement failure. Stopped (cancelled / timed-out)
+	// runs stay excluded — their cut point is nondeterministic.
+	IncludeUnconverged bool
+
+	// DynProto, when non-nil, makes this a dynamic-protocol point
+	// (the Section 6 machinery): trials execute through core.RunDyn
+	// under the uniform scheduler, inheriting the campaign's
+	// cancellation and per-run timeouts via the dynamic Stop hook.
+	// DynStable is required; Proto, Engine, NewScheduler, Faults,
+	// Initial and Observer must be unset.
+	DynProto *core.DynProtocol
+	// DynStable is the dynamic point's stop predicate.
+	DynStable func(cfg *core.DynConfig) bool
+	// DynInitial, when non-nil, builds a trial's initial configuration
+	// (cloned by core.RunDyn, so returning a shared one is fine).
+	DynInitial func(trial int) (*core.DynConfig, error)
+
+	// prepared caches the fault plan resolved against Proto (possibly
+	// an augmented protocol); Execute fills it during validation.
+	prepared *scenario.Prepared
 }
 
 // RunRecord is the raw outcome of one trial, as streamed to the
@@ -135,6 +232,12 @@ type RunRecord struct {
 	EffectiveSteps  int64   `json:"effective_steps"`
 	EdgeChanges     int64   `json:"edge_changes"`
 	Value           float64 `json:"value"`
+	// Faults is the point's fault plan in flag syntax ("" without one);
+	// the three tallies count the faults actually applied to this run.
+	Faults             string `json:"faults,omitempty"`
+	FaultCrashes       int64  `json:"fault_crashes,omitempty"`
+	FaultEdgeDeletions int64  `json:"fault_edge_deletions,omitempty"`
+	FaultResets        int64  `json:"fault_resets,omitempty"`
 	// DurationNS is wall-clock and therefore the one nondeterministic
 	// field of a record.
 	DurationNS int64  `json:"duration_ns"`
@@ -159,6 +262,9 @@ type Aggregate struct {
 	Min       float64 `json:"min"`
 	Max       float64 `json:"max"`
 	Expected  float64 `json:"expected,omitempty"`
+	// Faults labels the point's fault plan in flag syntax ("" without
+	// one), so fault sweeps stay distinguishable in exported series.
+	Faults string `json:"faults,omitempty"`
 }
 
 // Options configures campaign execution.
@@ -204,7 +310,7 @@ func Execute(ctx context.Context, points []Point, opts Options) (Outcome, error)
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if err := validate(points); err != nil {
+	if err := prepare(points); err != nil {
 		return Outcome{}, err
 	}
 	workers := opts.Workers
@@ -270,6 +376,7 @@ func Execute(ctx context.Context, points []Point, opts Options) (Outcome, error)
 			Scheduler: schedulerLabel(pt),
 			Trials:    pt.Trials,
 			Expected:  pt.Expected,
+			Faults:    pt.Faults.String(),
 		}
 	}
 	pending := make(map[int]RunRecord, workers)
@@ -303,6 +410,11 @@ func Execute(ctx context.Context, points []Point, opts Options) (Outcome, error)
 				agg.Failures++
 				if rec.Stopped {
 					agg.Stopped++
+				} else if points[rec.Point].IncludeUnconverged {
+					// Budget exhaustion is a deterministic cut point, so
+					// the value measured there is data (survivability
+					// campaigns); a nondeterministic Stopped cut is not.
+					accs[rec.Point].Add(rec.Value)
 				}
 			}
 			if opts.KeepRuns {
@@ -333,9 +445,24 @@ func Execute(ctx context.Context, points []Point, opts Options) (Outcome, error)
 	return out, nil
 }
 
-func validate(points []Point) error {
-	for i, pt := range points {
-		if pt.Proto == nil {
+// prepare validates the points and resolves their fault plans
+// (compiling crash plans into augmented protocols) in place.
+func prepare(points []Point) error {
+	for i := range points {
+		pt := &points[i]
+		switch {
+		case pt.DynProto != nil:
+			if pt.Proto != nil {
+				return fmt.Errorf("campaign: point %d (%s) sets both Proto and DynProto", i, pt.Protocol)
+			}
+			if pt.DynStable == nil {
+				return fmt.Errorf("campaign: point %d (%s): dynamic points require DynStable", i, pt.Protocol)
+			}
+			if pt.Engine != core.EngineAuto || pt.NewScheduler != nil || pt.Faults != nil ||
+				pt.Initial != nil || pt.Observer != nil {
+				return fmt.Errorf("campaign: point %d (%s): dynamic points run the dynamic engine under the uniform scheduler and support no engine, scheduler, fault or static-initial options", i, pt.Protocol)
+			}
+		case pt.Proto == nil:
 			return fmt.Errorf("campaign: point %d has no protocol", i)
 		}
 		if pt.N < 1 {
@@ -343,6 +470,16 @@ func validate(points []Point) error {
 		}
 		if pt.Trials < 1 {
 			return fmt.Errorf("campaign: point %d (%s): trials must be ≥ 1", i, pt.Protocol)
+		}
+		if pt.Faults != nil {
+			if pt.Faults.HasCrashes() && pt.Initial != nil {
+				return fmt.Errorf("campaign: point %d (%s): crash faults require the default initial configuration (the run protocol is augmented with a crash state)", i, pt.Protocol)
+			}
+			pr, err := pt.Faults.Prepare(pt.Proto)
+			if err != nil {
+				return fmt.Errorf("campaign: point %d (%s): %w", i, pt.Protocol, err)
+			}
+			pt.prepared = pr
 		}
 	}
 	return nil
@@ -384,6 +521,26 @@ func runTrial(ctx context.Context, pt *Point, pointIdx, trial int, timeout time.
 		Trial:     trial,
 		Seed:      pt.BaseSeed + uint64(trial),
 	}
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	stop := func() bool {
+		select {
+		case <-ctx.Done():
+			return true
+		default:
+		}
+		if timeout > 0 && time.Now().After(deadline) {
+			return true
+		}
+		return pt.Stop != nil && pt.Stop()
+	}
+
+	if pt.DynProto != nil {
+		return runDynTrial(pt, rec, stop)
+	}
+
 	opts := core.Options{
 		Seed:          rec.Seed,
 		Engine:        pt.Engine,
@@ -391,6 +548,7 @@ func runTrial(ctx context.Context, pt *Point, pointIdx, trial int, timeout time.
 		MaxSteps:      pt.MaxSteps,
 		CheckInterval: pt.CheckInterval,
 		Observer:      pt.Observer,
+		Stop:          stop,
 	}
 	if pt.NewScheduler != nil {
 		opts.Scheduler = pt.NewScheduler()
@@ -403,25 +561,24 @@ func runTrial(ctx context.Context, pt *Point, pointIdx, trial int, timeout time.
 		}
 		opts.Initial = initial
 	}
-	var deadline time.Time
-	if timeout > 0 {
-		deadline = time.Now().Add(timeout)
-	}
-	opts.Stop = func() bool {
-		select {
-		case <-ctx.Done():
-			return true
-		default:
-		}
-		if timeout > 0 && time.Now().After(deadline) {
-			return true
-		}
-		return pt.Stop != nil && pt.Stop()
+	proto := pt.Proto
+	var injection *scenario.Injection
+	if pt.prepared != nil {
+		proto = pt.prepared.Proto
+		injection = pt.prepared.NewInjection(rec.Seed)
+		opts.Injector = injection
+		rec.Faults = pt.Faults.String()
 	}
 
 	start := time.Now()
-	res, err := core.Run(pt.Proto, pt.N, opts)
+	res, err := core.Run(proto, pt.N, opts)
 	rec.DurationNS = time.Since(start).Nanoseconds()
+	if injection != nil {
+		counts := injection.Counts()
+		rec.FaultCrashes = counts.Crashes
+		rec.FaultEdgeDeletions = counts.EdgeDeletions
+		rec.FaultResets = counts.Resets
+	}
 	if err != nil {
 		rec.Err = err.Error()
 		return rec
@@ -438,6 +595,52 @@ func runTrial(ctx context.Context, pt *Point, pointIdx, trial int, timeout time.
 		metric = MetricConvergenceTime
 	}
 	rec.Value = metric(res, pt.N)
+	return rec
+}
+
+// runDynTrial is runTrial's dynamic-protocol branch: core.RunDyn with
+// the same cancellation and timeout plumbing, mapped onto the shared
+// record shape (Engine "dynamic", no edge-change counter).
+func runDynTrial(pt *Point, rec RunRecord, stop func() bool) RunRecord {
+	dopts := core.DynOptions{
+		Seed:          rec.Seed,
+		MaxSteps:      pt.MaxSteps,
+		CheckInterval: pt.CheckInterval,
+		Stable:        pt.DynStable,
+		Stop:          stop,
+	}
+	if pt.DynInitial != nil {
+		initial, err := pt.DynInitial(rec.Trial)
+		if err != nil {
+			rec.Err = err.Error()
+			return rec
+		}
+		dopts.Initial = initial
+	}
+	start := time.Now()
+	res, err := core.RunDyn(pt.DynProto, pt.N, dopts)
+	rec.DurationNS = time.Since(start).Nanoseconds()
+	if err != nil {
+		rec.Err = err.Error()
+		return rec
+	}
+	rec.Engine = "dynamic"
+	rec.Converged = res.Converged
+	rec.Stopped = res.Stopped
+	rec.Steps = res.Steps
+	rec.ConvergenceTime = res.ConvergenceTime
+	rec.EffectiveSteps = res.EffectiveSteps
+	metric := pt.Metric
+	if metric == nil {
+		metric = MetricConvergenceTime
+	}
+	rec.Value = metric(core.Result{
+		Converged:       res.Converged,
+		Stopped:         res.Stopped,
+		Steps:           res.Steps,
+		ConvergenceTime: res.ConvergenceTime,
+		EffectiveSteps:  res.EffectiveSteps,
+	}, pt.N)
 	return rec
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"math"
 	"reflect"
 	"runtime"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/processes"
 	"repro/internal/protocols"
+	"repro/internal/scenario"
 )
 
 // testPoints builds a small mixed grid: a Table 2 constructor sweep
@@ -315,6 +317,136 @@ func TestSpecCompileRejects(t *testing.T) {
 	}
 }
 
+// TestSpecCompileFaults: the "faults" and "detector" spec fields flow
+// into points, with the quiescence default for fault items, and
+// invalid combinations are rejected at compile time.
+func TestSpecCompileFaults(t *testing.T) {
+	t.Parallel()
+	plan := &scenario.FaultPlan{Events: []scenario.Fault{{Kind: scenario.KindCrash, Step: 64}}}
+	spec := Spec{
+		Trials: 2,
+		Seed:   1,
+		Faults: plan,
+		Items:  []Item{{Name: "cycle-cover", Sizes: []int{12}}},
+	}
+	points, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 || points[0].Faults != plan {
+		t.Fatalf("compiled points %+v", points)
+	}
+	// Fault items default to the quiescence detector (gated, so the
+	// indexed engines answer it in O(1)).
+	if points[0].Detector.Gate != core.GateQuiescence {
+		t.Fatalf("fault item detector gate %v, want quiescence", points[0].Detector.Gate)
+	}
+	out, err := Execute(context.Background(), points, Options{KeepRuns: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Aggregates[0].Converged != 2 {
+		t.Fatalf("fault spec runs did not converge: %+v", out.Aggregates[0])
+	}
+	for _, rec := range out.Runs {
+		if rec.FaultCrashes != 1 {
+			t.Fatalf("fault spec run missed its crash: %+v", rec)
+		}
+	}
+
+	// Explicit detector override wins over the fault default.
+	spec.Detector = "edge-quiescence"
+	points, err = spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].Detector.Gate != core.GateEdgeQuiescence {
+		t.Fatalf("detector override ignored: gate %v", points[0].Detector.Gate)
+	}
+
+	// An explicit "target" keeps the registry detector (no gate) even
+	// with faults present — only the unset default swaps to quiescence.
+	spec.Detector = "target"
+	points, err = spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].Detector.Gate != core.GateNone {
+		t.Fatalf("explicit target detector replaced: gate %v", points[0].Detector.Gate)
+	}
+
+	// An explicit empty per-item plan opts the control row out of the
+	// spec-level faults (and therefore out of the quiescence default).
+	spec.Detector = ""
+	spec.Items = []Item{
+		{Name: "cycle-cover", Sizes: []int{12}, Faults: &scenario.FaultPlan{Events: []scenario.Fault{}}},
+		{Name: "cycle-cover", Sizes: []int{12}},
+	}
+	points, err = spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].Faults != nil || points[0].Detector.Gate != core.GateNone {
+		t.Fatalf("control item still carries faults: %+v", points[0])
+	}
+	if points[1].Faults != plan {
+		t.Fatalf("spec-level faults dropped from the second item: %+v", points[1])
+	}
+
+	bad := []Spec{
+		// Unknown detector name.
+		{Trials: 1, Detector: "nope", Items: []Item{{Name: "cycle-cover", Sizes: []int{8}}}},
+		// Crash faults on items that build their own initial configuration.
+		{Trials: 1, Faults: plan, Items: []Item{{Name: "One-Way-Epidemic", Kind: "process", Sizes: []int{16}}}},
+		{Trials: 1, Faults: plan, Items: []Item{{Kind: "replication", Sizes: []int{8}}}},
+		// Invalid plan.
+		{Trials: 1, Faults: &scenario.FaultPlan{Events: []scenario.Fault{{Kind: "boom", Step: 1}}},
+			Items: []Item{{Name: "cycle-cover", Sizes: []int{8}}}},
+	}
+	for i, s := range bad {
+		if _, err := s.Compile(); err == nil {
+			t.Fatalf("bad fault spec %d accepted", i)
+		}
+	}
+}
+
+// TestSpecCompileSchedulers: the weighted and biased schedulers
+// resolve through the factory and stay off the indexed engines.
+func TestSpecCompileSchedulers(t *testing.T) {
+	t.Parallel()
+	spec := Spec{
+		Trials:     2,
+		Seed:       1,
+		Schedulers: []string{"weighted", "biased"},
+		Items:      []Item{{Name: "cycle-cover", Sizes: []int{10}}},
+	}
+	points, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 || points[0].NewScheduler == nil || points[1].NewScheduler == nil {
+		t.Fatalf("compiled points %+v", points)
+	}
+	out, err := Execute(context.Background(), points, Options{KeepRuns: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, agg := range out.Aggregates {
+		if agg.Converged != 2 {
+			t.Fatalf("scheduler point %d did not converge: %+v", i, agg)
+		}
+	}
+	for _, rec := range out.Runs {
+		if rec.Engine != "baseline" {
+			t.Fatalf("non-uniform scheduler ran on %q", rec.Engine)
+		}
+	}
+	spec.Engine = "fast"
+	if _, err := spec.Compile(); err == nil {
+		t.Fatal("fast engine with a weighted scheduler accepted")
+	}
+}
+
 // TestSpecCompileSparseEngine checks the sparse engine flows through a
 // spec end to end.
 func TestSpecCompileSparseEngine(t *testing.T) {
@@ -343,6 +475,208 @@ func TestSpecCompileSparseEngine(t *testing.T) {
 		if rec.Engine != "sparse" {
 			t.Fatalf("run executed on %q, want sparse", rec.Engine)
 		}
+	}
+}
+
+// TestFaultPointEndToEnd: a crash plan flows through Execute — records
+// carry the plan label and per-run fault tallies, the aggregate is
+// labelled, and runs still converge (to quiescence) on every engine.
+func TestFaultPointEndToEnd(t *testing.T) {
+	t.Parallel()
+	cc := protocols.CycleCover()
+	plan := &scenario.FaultPlan{Events: []scenario.Fault{
+		{Kind: scenario.KindCrash, Step: 30},
+		{Kind: scenario.KindEdge, Step: 90},
+	}}
+	for _, engine := range []core.Engine{core.EngineBaseline, core.EngineFast, core.EngineSparse} {
+		out, err := Execute(context.Background(), []Point{{
+			Protocol: "cycle-cover", N: 16, Trials: 4, BaseSeed: 1,
+			Proto: cc.Proto, Detector: core.QuiescenceDetector(),
+			Engine: engine, Faults: plan, Metric: MetricLargestComponent,
+		}}, Options{KeepRuns: true})
+		if err != nil {
+			t.Fatalf("engine=%s: %v", engine, err)
+		}
+		agg := out.Aggregates[0]
+		if agg.Converged != 4 || agg.Faults != plan.String() {
+			t.Fatalf("engine=%s: aggregate %+v", engine, agg)
+		}
+		for _, rec := range out.Runs {
+			if rec.Faults != plan.String() || rec.FaultCrashes != 1 {
+				t.Fatalf("engine=%s: record misses fault fields: %+v", engine, rec)
+			}
+			// One node crashed, so at most 15 output nodes survive.
+			if rec.Value < 1 || rec.Value > 15 {
+				t.Fatalf("engine=%s: implausible largest component %f", engine, rec.Value)
+			}
+		}
+	}
+}
+
+// TestFaultPointRejections: crash faults on points with custom initial
+// configurations must be rejected (the run protocol is augmented), as
+// must invalid plans.
+func TestFaultPointRejections(t *testing.T) {
+	t.Parallel()
+	cc := protocols.CycleCover()
+	crash := &scenario.FaultPlan{Events: []scenario.Fault{{Kind: scenario.KindCrash, Step: 5}}}
+	initial := func(int) (*core.Config, error) { return core.NewConfig(cc.Proto, 8), nil }
+	if _, err := Execute(context.Background(), []Point{{
+		Protocol: "cycle-cover", N: 8, Trials: 1, Proto: cc.Proto,
+		Detector: core.QuiescenceDetector(), Faults: crash, Initial: initial,
+	}}, Options{}); err == nil {
+		t.Fatal("crash plan with a custom initial configuration accepted")
+	}
+	if _, err := Execute(context.Background(), []Point{{
+		Protocol: "cycle-cover", N: 8, Trials: 1, Proto: cc.Proto,
+		Faults: &scenario.FaultPlan{},
+	}}, Options{}); err == nil {
+		t.Fatal("empty fault plan accepted")
+	}
+}
+
+// TestDynPointExecutes: dynamic-protocol points run through the
+// campaign pool, and the campaign's per-run timeout reaches RunDyn via
+// the new Stop hook — the cancellation path Section-6 runs previously
+// bypassed.
+func TestDynPointExecutes(t *testing.T) {
+	t.Parallel()
+	matching := &core.DynProtocol{
+		Name:    "dyn-matching",
+		Initial: 0,
+		Apply: func(a, b core.DynState, edge bool, _ *core.RNG) (core.DynState, core.DynState, bool, bool) {
+			if a == 0 && b == 0 && !edge {
+				return 1, 1, true, true
+			}
+			return a, b, edge, false
+		},
+	}
+	out, err := Execute(context.Background(), []Point{{
+		Protocol: "dyn-matching", N: 16, Trials: 6, BaseSeed: 1,
+		DynProto: matching,
+		DynStable: func(cfg *core.DynConfig) bool {
+			for u := 0; u < cfg.N(); u++ {
+				if cfg.Node(u) == 0 {
+					return false
+				}
+			}
+			return true
+		},
+		Metric: MetricEffectiveSteps,
+	}}, Options{KeepRuns: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := out.Aggregates[0]
+	if agg.Converged != 6 || agg.Mean != 8 {
+		t.Fatalf("dynamic aggregate %+v (a perfect matching on 16 nodes takes exactly 8 effective steps)", agg)
+	}
+	for _, rec := range out.Runs {
+		if rec.Engine != "dynamic" || rec.ConvergenceTime <= 0 {
+			t.Fatalf("dynamic record %+v", rec)
+		}
+	}
+}
+
+func TestDynPointTimeoutStops(t *testing.T) {
+	t.Parallel()
+	busy := &core.DynProtocol{
+		Name:    "dyn-busy",
+		Initial: 0,
+		Apply: func(a, b core.DynState, edge bool, _ *core.RNG) (core.DynState, core.DynState, bool, bool) {
+			return a + 1, b + 1, edge, true
+		},
+	}
+	out, err := Execute(context.Background(), []Point{{
+		Protocol: "dyn-busy", N: 64, Trials: 2, BaseSeed: 1,
+		DynProto:      busy,
+		DynStable:     func(*core.DynConfig) bool { return false },
+		CheckInterval: 64, // poll the deadline often enough to stop promptly
+	}}, Options{Timeout: 20 * time.Millisecond, KeepRuns: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := out.Aggregates[0]
+	if agg.Stopped != 2 || agg.Converged != 0 {
+		t.Fatalf("dynamic timeout aggregate %+v", agg)
+	}
+	for _, rec := range out.Runs {
+		if !rec.Stopped {
+			t.Fatalf("dynamic run not stopped: %+v", rec)
+		}
+	}
+}
+
+func TestDynPointValidation(t *testing.T) {
+	t.Parallel()
+	cc := protocols.CycleCover()
+	dyn := &core.DynProtocol{Name: "d", Apply: func(a, b core.DynState, e bool, _ *core.RNG) (core.DynState, core.DynState, bool, bool) {
+		return a, b, e, false
+	}}
+	stable := func(*core.DynConfig) bool { return true }
+	bad := []Point{
+		{Protocol: "d", N: 8, Trials: 1, DynProto: dyn}, // no DynStable
+		{Protocol: "d", N: 8, Trials: 1, DynProto: dyn, DynStable: stable, Proto: cc.Proto},
+		{Protocol: "d", N: 8, Trials: 1, DynProto: dyn, DynStable: stable, Engine: core.EngineFast},
+		{Protocol: "d", N: 8, Trials: 1, DynProto: dyn, DynStable: stable,
+			NewScheduler: func() core.Scheduler { return &core.RoundRobinScheduler{} }},
+		{Protocol: "d", N: 8, Trials: 1, DynProto: dyn, DynStable: stable,
+			Faults: &scenario.FaultPlan{Events: []scenario.Fault{{Kind: scenario.KindReset, Step: 1}}}},
+	}
+	for i, pt := range bad {
+		if _, err := Execute(context.Background(), []Point{pt}, Options{}); err == nil {
+			t.Fatalf("invalid dynamic point %d accepted: %+v", i, pt)
+		}
+	}
+}
+
+// TestIncludeUnconverged: budget-exhausted runs fold their metric into
+// the aggregate when requested — the survivability convention.
+func TestIncludeUnconverged(t *testing.T) {
+	t.Parallel()
+	cc := protocols.CycleCover()
+	never := core.Detector{Trigger: core.TriggerInterval, Stable: func(*core.Config) bool { return false }}
+	out, err := Execute(context.Background(), []Point{{
+		Protocol: "cycle-cover", N: 12, Trials: 3, BaseSeed: 1,
+		Proto: cc.Proto, Detector: never, MaxSteps: 5000,
+		Metric: MetricSteps, IncludeUnconverged: true,
+	}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := out.Aggregates[0]
+	if agg.Converged != 0 || agg.Failures != 3 {
+		t.Fatalf("aggregate %+v", agg)
+	}
+	if agg.Mean != 5000 {
+		t.Fatalf("mean %f, want the budget cut 5000 folded in", agg.Mean)
+	}
+}
+
+func TestFormatFloatNonFinite(t *testing.T) {
+	t.Parallel()
+	if got := formatFloat(math.NaN()); got != "" {
+		t.Fatalf("NaN formatted as %q, want empty cell", got)
+	}
+	if got := formatFloat(math.Inf(1)); got != "" {
+		t.Fatalf("+Inf formatted as %q, want empty cell", got)
+	}
+	if got := formatFloat(math.Inf(-1)); got != "" {
+		t.Fatalf("-Inf formatted as %q, want empty cell", got)
+	}
+	if got := formatFloat(1234.5); got != "1234.5" {
+		t.Fatalf("finite value formatted as %q", got)
+	}
+
+	// A NaN metric (dynamic runs have no final configuration for the
+	// component metrics) must flow through CSV export as empty cells,
+	// not as literal NaN tokens.
+	var buf bytes.Buffer
+	if err := WriteAggregatesCSV(&buf, []Aggregate{{Protocol: "x", N: 2, Trials: 1, Mean: math.NaN(), Min: math.Inf(-1), Max: math.Inf(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if s := buf.String(); strings.Contains(s, "NaN") || strings.Contains(s, "Inf") {
+		t.Fatalf("non-finite tokens leaked into CSV:\n%s", s)
 	}
 }
 

@@ -3,8 +3,8 @@ package campaign
 import (
 	"encoding/csv"
 	"encoding/json"
-	"fmt"
 	"io"
+	"math"
 	"strconv"
 )
 
@@ -20,8 +20,9 @@ func WriteAggregatesJSON(w io.Writer, aggs []Aggregate) error {
 func WriteAggregatesCSV(w io.Writer, aggs []Aggregate) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
-		"protocol", "n", "scheduler", "trials", "converged", "failures",
-		"stopped", "mean", "stderr", "stddev", "min", "max", "expected",
+		"protocol", "n", "scheduler", "faults", "trials", "converged",
+		"failures", "stopped", "mean", "stderr", "stddev", "min", "max",
+		"expected",
 	}); err != nil {
 		return err
 	}
@@ -30,6 +31,7 @@ func WriteAggregatesCSV(w io.Writer, aggs []Aggregate) error {
 			a.Protocol,
 			strconv.Itoa(a.N),
 			a.Scheduler,
+			a.Faults,
 			strconv.Itoa(a.Trials),
 			strconv.Itoa(a.Converged),
 			strconv.Itoa(a.Failures),
@@ -60,9 +62,11 @@ func WriteRunsJSON(w io.Writer, runs []RunRecord) error {
 func WriteRunsCSV(w io.Writer, runs []RunRecord) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
-		"point", "protocol", "n", "scheduler", "trial", "seed", "engine",
-		"converged", "stopped", "steps", "convergence_time",
-		"effective_steps", "edge_changes", "value", "duration_ns", "err",
+		"point", "protocol", "n", "scheduler", "faults", "trial", "seed",
+		"engine", "converged", "stopped", "steps", "convergence_time",
+		"effective_steps", "edge_changes", "fault_crashes",
+		"fault_edge_deletions", "fault_resets", "value", "duration_ns",
+		"err",
 	}); err != nil {
 		return err
 	}
@@ -72,6 +76,7 @@ func WriteRunsCSV(w io.Writer, runs []RunRecord) error {
 			r.Protocol,
 			strconv.Itoa(r.N),
 			r.Scheduler,
+			r.Faults,
 			strconv.Itoa(r.Trial),
 			strconv.FormatUint(r.Seed, 10),
 			r.Engine,
@@ -81,6 +86,9 @@ func WriteRunsCSV(w io.Writer, runs []RunRecord) error {
 			strconv.FormatInt(r.ConvergenceTime, 10),
 			strconv.FormatInt(r.EffectiveSteps, 10),
 			strconv.FormatInt(r.EdgeChanges, 10),
+			strconv.FormatInt(r.FaultCrashes, 10),
+			strconv.FormatInt(r.FaultEdgeDeletions, 10),
+			strconv.FormatInt(r.FaultResets, 10),
 			formatFloat(r.Value),
 			strconv.FormatInt(r.DurationNS, 10),
 			r.Err,
@@ -93,6 +101,13 @@ func WriteRunsCSV(w io.Writer, runs []RunRecord) error {
 	return cw.Error()
 }
 
+// formatFloat renders a float for CSV, emitting an empty cell for
+// non-finite values: spreadsheet tools and pandas' default parsers
+// choke on literal "NaN"/"+Inf" tokens in otherwise numeric columns
+// (an aggregate over zero converged trials has no mean to report).
 func formatFloat(f float64) string {
-	return fmt.Sprintf("%g", f)
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return ""
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/processes"
 	"repro/internal/protocols"
+	"repro/internal/scenario"
 )
 
 // Spec is the declarative, JSON-serializable form of a campaign: a
@@ -33,11 +34,14 @@ type Spec struct {
 	Seed   uint64 `json:"seed"`
 	// Schedulers lists schedule regimes to cross the grid with; empty
 	// means just the uniform random scheduler. Known names: "uniform",
-	// "round-robin", "permutation".
+	// "round-robin", "permutation", "weighted", "biased". The indexed
+	// engines require "uniform"; other schedules run on the baseline
+	// path.
 	Schedulers []string `json:"schedulers,omitempty"`
 	// Metric selects the measured quantity: "convergence-time"
 	// (default for protocols), "steps" (default for processes),
-	// "effective-steps", "edge-changes" or "parallel-time".
+	// "effective-steps", "edge-changes", "parallel-time",
+	// "largest-component" or "components".
 	Metric string `json:"metric,omitempty"`
 	// MaxSteps caps each run's interactions; 0 means the engine's
 	// per-n default budget.
@@ -47,6 +51,20 @@ type Spec struct {
 	// n=4096 and the sparse state-class engine above it, the baseline
 	// loop otherwise), "baseline", "fast", or "sparse".
 	Engine string `json:"engine,omitempty"`
+	// Detector selects the stability predicate: "target" (default; the
+	// registry's per-protocol detector), "quiescence", or
+	// "edge-quiescence". Items carrying a fault plan default to
+	// "quiescence" instead — target detectors assume the fault-free
+	// goal network is reachable, which faults generally break.
+	Detector string `json:"detector,omitempty"`
+	// Faults, when non-nil, injects this fault plan into every item
+	// (overridable per item). See scenario.FaultPlan.
+	Faults *scenario.FaultPlan `json:"faults,omitempty"`
+	// IncludeUnconverged folds budget-exhausted runs' metric values
+	// into the aggregates too (see Point.IncludeUnconverged) — the
+	// survivability convention for fault sweeps measured at a fixed
+	// MaxSteps budget.
+	IncludeUnconverged bool `json:"include_unconverged,omitempty"`
 }
 
 // Item is one row of a spec grid: a named protocol or process swept
@@ -60,11 +78,15 @@ type Item struct {
 	Kind string `json:"kind,omitempty"`
 	// Sizes is the population sweep for this item.
 	Sizes []int `json:"sizes"`
-	// Trials, Metric and Engine, when set, override the spec-level
-	// values for this item.
-	Trials int    `json:"trials,omitempty"`
-	Metric string `json:"metric,omitempty"`
-	Engine string `json:"engine,omitempty"`
+	// Trials, Metric, Engine, Detector and Faults, when set, override
+	// the spec-level values for this item. An explicit empty fault plan
+	// ({"events": []}) opts the item out of spec-level faults — the
+	// control row of a fault sweep.
+	Trials   int                 `json:"trials,omitempty"`
+	Metric   string              `json:"metric,omitempty"`
+	Engine   string              `json:"engine,omitempty"`
+	Detector string              `json:"detector,omitempty"`
+	Faults   *scenario.FaultPlan `json:"faults,omitempty"`
 }
 
 // ParseSpec decodes a JSON spec, rejecting unknown fields.
@@ -89,8 +111,31 @@ func SchedulerFactory(name string) (func() core.Scheduler, error) {
 		return func() core.Scheduler { return &core.RoundRobinScheduler{} }, nil
 	case "permutation":
 		return func() core.Scheduler { return &core.PermutationScheduler{} }, nil
+	case "weighted":
+		// Default heterogeneous rates: a quarter of the population runs
+		// 4× hot. Callers needing other rates build the scheduler
+		// directly.
+		return func() core.Scheduler { return &core.WeightedScheduler{} }, nil
+	case "biased":
+		return func() core.Scheduler { return &core.BiasedScheduler{Cut: 4, Epsilon: 0.1} }, nil
 	default:
-		return nil, fmt.Errorf("campaign: unknown scheduler %q (known: uniform, round-robin, permutation)", name)
+		return nil, fmt.Errorf("campaign: unknown scheduler %q (known: uniform, round-robin, permutation, weighted, biased)", name)
+	}
+}
+
+// ParseDetector resolves a detector name. ok reports whether the name
+// selects an override; "target" (and "") keep the registry's
+// per-protocol detector.
+func ParseDetector(name string) (det core.Detector, ok bool, err error) {
+	switch name {
+	case "", "target":
+		return core.Detector{}, false, nil
+	case "quiescence":
+		return core.QuiescenceDetector(), true, nil
+	case "edge-quiescence":
+		return core.EdgeQuiescenceDetector(), true, nil
+	default:
+		return core.Detector{}, false, fmt.Errorf("campaign: unknown detector %q (known: target, quiescence, edge-quiescence)", name)
 	}
 }
 
@@ -107,8 +152,12 @@ func ParseMetric(name string) (Metric, error) {
 		return MetricEdgeChanges, nil
 	case "parallel-time":
 		return MetricParallelTime, nil
+	case "largest-component":
+		return MetricLargestComponent, nil
+	case "components":
+		return MetricComponents, nil
 	default:
-		return nil, fmt.Errorf("campaign: unknown metric %q (known: convergence-time, steps, effective-steps, edge-changes, parallel-time)", name)
+		return nil, fmt.Errorf("campaign: unknown metric %q (known: convergence-time, steps, effective-steps, edge-changes, parallel-time, largest-component, components)", name)
 	}
 }
 
@@ -147,6 +196,28 @@ func (s Spec) Compile() ([]Point, error) {
 		if err != nil {
 			return nil, err
 		}
+		detectorName := item.Detector
+		if detectorName == "" {
+			detectorName = s.Detector
+		}
+		detOverride, haveDet, err := ParseDetector(detectorName)
+		if err != nil {
+			return nil, err
+		}
+		faults := item.Faults
+		switch {
+		case faults == nil:
+			faults = s.Faults
+		case len(faults.Events) == 0:
+			// An explicit empty plan ({"events": []}) opts the item out
+			// of spec-level faults — the control row of a fault sweep.
+			faults = nil
+		}
+		if faults != nil {
+			if err := faults.Validate(); err != nil {
+				return nil, fmt.Errorf("campaign: item %d (%q): %w", i, item.Name, err)
+			}
+		}
 		for _, n := range item.Sizes {
 			for _, schedName := range schedulers {
 				factory, err := SchedulerFactory(schedName)
@@ -160,19 +231,34 @@ func (s Spec) Compile() ([]Point, error) {
 					return nil, fmt.Errorf("campaign: item %d (%q): %w", i, item.Name, err)
 				}
 				pt := Point{
-					N:            n,
-					Scheduler:    schedName,
-					Trials:       trials,
-					BaseSeed:     s.Seed,
-					MaxSteps:     s.MaxSteps,
-					Engine:       engine,
-					NewScheduler: factory,
+					N:                  n,
+					Scheduler:          schedName,
+					Trials:             trials,
+					BaseSeed:           s.Seed,
+					MaxSteps:           s.MaxSteps,
+					Engine:             engine,
+					NewScheduler:       factory,
+					Faults:             faults,
+					IncludeUnconverged: s.IncludeUnconverged,
 				}
 				if pt.Scheduler == "" {
 					pt.Scheduler = "uniform"
 				}
 				if err := resolveItem(&pt, item, metricName); err != nil {
 					return nil, err
+				}
+				switch {
+				case haveDet:
+					pt.Detector = detOverride
+				case detectorName == "" && faults != nil:
+					// Target detectors assume the fault-free goal is
+					// reachable; under faults quiescence is the honest
+					// default stop rule. An explicit "target" keeps the
+					// registry detector even with faults present.
+					pt.Detector = core.QuiescenceDetector()
+				}
+				if faults.HasCrashes() && pt.Initial != nil {
+					return nil, fmt.Errorf("campaign: item %d (%q): crash faults require the default initial configuration (kinds process/replication build their own)", i, item.Name)
 				}
 				points = append(points, pt)
 			}

@@ -287,6 +287,45 @@ func (ci *ClassIndex) Update(u, v int, beforeU, beforeV State, edgeChanged bool)
 	}
 }
 
+// NodeChanged refreshes the index after an out-of-band write to node
+// u's state (scenario faults applied through a Mutator): u moves
+// between state lists, its active edges move between class buckets,
+// and every class containing either state is reweighed — the
+// single-node case of Update, O(deg(u) + |Q|). before is the state u
+// held when the index was last consistent.
+func (ci *ClassIndex) NodeChanged(u int, before State) {
+	after := ci.cfg.nodes[u]
+	if after == before {
+		return
+	}
+	ci.moveNode(u, before, after)
+	ci.nbuf = ci.cfg.store.neighbors(u, ci.nbuf[:0])
+	for _, x := range ci.nbuf {
+		sx := ci.cfg.nodes[x]
+		ci.moveEdge(u, x, ci.classID(before, sx), ci.classID(after, sx))
+	}
+	ci.reweighState(before)
+	ci.reweighState(after)
+}
+
+// EdgeChanged refreshes the index after an out-of-band toggle of edge
+// {u, v}: the edge joins or leaves its class bucket and that single
+// class is reweighed — O(1), like UpdateEdge on the dense index.
+func (ci *ClassIndex) EdgeChanged(u, v int) {
+	su, sv := ci.cfg.nodes[u], ci.cfg.nodes[v]
+	id := ci.classID(su, sv)
+	if ci.cfg.store.get(u, v) {
+		ci.insertEdge(u, v, id)
+	} else {
+		ci.removeEdge(u, v, id)
+	}
+	a, b := su, sv
+	if a > b {
+		a, b = b, a
+	}
+	ci.reweigh(int(a), int(b))
+}
+
 // Sample returns a uniformly random enabled pair in random orientation
 // (matching the orientation law of RNG.Pair, exactly as
 // PairIndex.Sample). It must not be called when Enabled() is zero.
@@ -396,3 +435,6 @@ func (ci *ClassIndex) samplePair(rng *RNG) (int, int) { return ci.Sample(rng) }
 func (ci *ClassIndex) applied(u, v int, beforeU, beforeV State, edgeChanged bool) {
 	ci.Update(u, v, beforeU, beforeV, edgeChanged)
 }
+
+func (ci *ClassIndex) nodeChanged(u int, before State) { ci.NodeChanged(u, before) }
+func (ci *ClassIndex) edgeChanged(u, v int)            { ci.EdgeChanged(u, v) }

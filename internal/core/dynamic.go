@@ -19,6 +19,17 @@ type DynProtocol struct {
 	Name    string
 	Initial DynState
 	Apply   func(a, b DynState, edge bool, rng *RNG) (outA, outB DynState, outEdge, effective bool)
+	// Output, when non-nil, is the Qout membership predicate: the
+	// states whose nodes belong to the output graph. Nil means every
+	// state is an output state (the common case in the paper). It
+	// drives DynResult.ConvergenceTime exactly as Protocol's Qout
+	// drives Result.ConvergenceTime on the static engines.
+	Output func(s DynState) bool
+}
+
+// isOutput reports Qout membership under the nil-means-all convention.
+func (p *DynProtocol) isOutput(s DynState) bool {
+	return p.Output == nil || p.Output(s)
 }
 
 // DynConfig is a configuration of a dynamic protocol.
@@ -43,6 +54,20 @@ func NewDynConfig(p *DynProtocol, n int) *DynConfig {
 		c.nodes[i] = p.Initial
 	}
 	return c
+}
+
+// Clone returns a deep copy of the configuration.
+func (c *DynConfig) Clone() *DynConfig {
+	d := &DynConfig{
+		proto:  c.proto,
+		n:      c.n,
+		nodes:  make([]DynState, len(c.nodes)),
+		edges:  c.edges.clone(),
+		degree: make([]int32, len(c.degree)),
+	}
+	copy(d.nodes, c.nodes)
+	copy(d.degree, c.degree)
+	return d
 }
 
 // N returns the population size.
@@ -87,8 +112,15 @@ func (c *DynConfig) ActiveNeighbors(u int, dst []int) []int {
 
 // DynResult reports a dynamic run's outcome.
 type DynResult struct {
-	Converged       bool
-	Steps           int64
+	Converged bool
+	// Stopped reports whether DynOptions.Stop aborted the run before
+	// Stable fired or the step budget ran out.
+	Stopped bool
+	Steps   int64
+	// ConvergenceTime is the paper's running time: the last step at
+	// which the output graph (active edges plus Qout membership per
+	// DynProtocol.Output) changed — the same contract as the static
+	// Result.ConvergenceTime.
 	ConvergenceTime int64
 	EffectiveSteps  int64
 	Final           *DynConfig
@@ -105,7 +137,14 @@ type DynOptions struct {
 	// effective step instead of on an interval.
 	CheckEveryEffective bool
 	// Initial, when non-nil, replaces the all-initial configuration.
+	// It is cloned, not mutated, matching Options.Initial.
 	Initial *DynConfig
+	// Stop, when non-nil, is polled once immediately and then every
+	// CheckInterval steps — the same countdown contract as the static
+	// engines; when it returns true the run aborts early with
+	// Converged=false and Stopped=true. It is how the campaign runner
+	// plugs in context cancellation and per-run deadlines.
+	Stop func() bool
 }
 
 // RunDyn executes a dynamic protocol under the uniform random
@@ -117,8 +156,10 @@ func RunDyn(p *DynProtocol, n int, opts DynOptions) (DynResult, error) {
 	if opts.Stable == nil {
 		return DynResult{}, errors.New("core: dynamic runs require a Stable predicate")
 	}
-	cfg := opts.Initial
-	if cfg == nil {
+	var cfg *DynConfig
+	if opts.Initial != nil {
+		cfg = opts.Initial.Clone()
+	} else {
 		cfg = NewDynConfig(p, n)
 	}
 	maxSteps := opts.MaxSteps
@@ -135,18 +176,34 @@ func RunDyn(p *DynProtocol, n int, opts DynOptions) (DynResult, error) {
 		res.Converged = opts.Stable(cfg)
 		return res, nil
 	}
+	// Stop is polled on the same countdown contract as the static
+	// engines: once before the first step, then every interval steps.
+	stopCountdown := int64(1)
 	var step int64
 	for step < maxSteps {
+		if opts.Stop != nil {
+			stopCountdown--
+			if stopCountdown <= 0 {
+				stopCountdown = interval
+				if opts.Stop() {
+					res.Stopped = true
+					res.Steps = step
+					return res, nil
+				}
+			}
+		}
 		step++
 		u, v := rng.Pair(n)
 		idx := pairIndex(n, u, v)
 		active := cfg.edges.get(idx)
-		outA, outB, outEdge, effective := p.Apply(cfg.nodes[u], cfg.nodes[v], active, rng)
+		a, b := cfg.nodes[u], cfg.nodes[v]
+		outA, outB, outEdge, effective := p.Apply(a, b, active, rng)
 		if effective {
 			res.EffectiveSteps++
 			cfg.nodes[u] = outA
 			cfg.nodes[v] = outB
-			if outEdge != active {
+			edgeChanged := outEdge != active
+			if edgeChanged {
 				cfg.edges.set(idx, outEdge)
 				d := int32(-1)
 				if outEdge {
@@ -154,6 +211,16 @@ func RunDyn(p *DynProtocol, n int, opts DynOptions) (DynResult, error) {
 				}
 				cfg.degree[u] += d
 				cfg.degree[v] += d
+			}
+			// The output graph changes when an edge between two output
+			// nodes changes, or when a node enters or leaves Qout — the
+			// same rule recordEffective applies on the static engines.
+			outputChanged := edgeChanged && p.isOutput(outA) && p.isOutput(outB)
+			if !outputChanged {
+				outputChanged = p.isOutput(a) != p.isOutput(outA) ||
+					p.isOutput(b) != p.isOutput(outB)
+			}
+			if outputChanged {
 				res.ConvergenceTime = step
 			}
 		}

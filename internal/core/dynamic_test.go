@@ -92,6 +92,147 @@ func TestRunDynMatchesStaticEngine(t *testing.T) {
 	}
 }
 
+// TestRunDynConvergenceTime pins the documented ConvergenceTime
+// semantics ("the last step at which the output graph — active edges
+// plus Qout membership — changed") against a hand-computed trace. On
+// n = 2 the uniform scheduler always draws the single pair, so the
+// protocol below walks a fixed script:
+//
+//	step 1: (0,0,off) → (1,1,on)   edge activates, 0∉Qout→1∈Qout: output change
+//	step 2: (1,1,on)  → (2,2,on)   1∈Qout→2∉Qout: output (membership) change
+//	step 3: (2,2,on)  → (3,3,on)   2∉Qout, 3∉Qout, edge kept: NO output change
+//	step 4: (3,3,on)  → (4,4,on)   4∉Qout: NO output change; then quiescent
+//
+// The documented answer is 2. Counting only edge flips — the old bug —
+// would report 1.
+func TestRunDynConvergenceTime(t *testing.T) {
+	t.Parallel()
+	dyn := &DynProtocol{
+		Name:    "scripted",
+		Initial: 0,
+		Output:  func(s DynState) bool { return s == 1 },
+		Apply: func(a, b DynState, edge bool, _ *RNG) (DynState, DynState, bool, bool) {
+			if a == b && a < 4 {
+				return a + 1, b + 1, true, true
+			}
+			return a, b, edge, false
+		},
+	}
+	res, err := RunDyn(dyn, 2, DynOptions{
+		Seed:                1,
+		CheckEveryEffective: true,
+		Stable: func(cfg *DynConfig) bool {
+			return cfg.Node(0) == 4 && cfg.Node(1) == 4
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Steps != 4 || res.EffectiveSteps != 4 {
+		t.Fatalf("trace diverged from script: %+v", res)
+	}
+	if res.ConvergenceTime != 2 {
+		t.Fatalf("ConvergenceTime = %d, want 2 (last output-graph change)", res.ConvergenceTime)
+	}
+}
+
+// TestRunDynNilOutputCountsEdgesOnly: with no Output predicate every
+// state is an output state, so only edge flips move ConvergenceTime —
+// the static-engine convention.
+func TestRunDynNilOutputCountsEdgesOnly(t *testing.T) {
+	t.Parallel()
+	dyn := &DynProtocol{
+		Name:    "edge-then-states",
+		Initial: 0,
+		Apply: func(a, b DynState, edge bool, _ *RNG) (DynState, DynState, bool, bool) {
+			if a == b && a < 3 {
+				// Only the first transition touches the edge.
+				return a + 1, b + 1, true, true
+			}
+			return a, b, edge, false
+		},
+	}
+	res, err := RunDyn(dyn, 2, DynOptions{
+		Seed:                5,
+		CheckEveryEffective: true,
+		Stable:              func(cfg *DynConfig) bool { return cfg.Node(0) == 3 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.ConvergenceTime != 1 {
+		t.Fatalf("nil-Output run: %+v, want ConvergenceTime 1", res)
+	}
+}
+
+// TestRunDynStopHook: the dynamic runner must poll Stop on the same
+// countdown contract as the static engines — once before the first
+// step, then every CheckInterval steps — and abort with Stopped=true.
+func TestRunDynStopHook(t *testing.T) {
+	t.Parallel()
+	dyn := &DynProtocol{
+		Name:    "busy",
+		Initial: 0,
+		Apply: func(a, b DynState, edge bool, _ *RNG) (DynState, DynState, bool, bool) {
+			return a + 1, b + 1, edge, true // never settles
+		},
+	}
+	polls := 0
+	res, err := RunDyn(dyn, 8, DynOptions{
+		Seed:          1,
+		CheckInterval: 32,
+		MaxSteps:      1 << 20,
+		Stable:        func(*DynConfig) bool { return false },
+		Stop: func() bool {
+			polls++
+			return polls >= 3
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped || res.Converged {
+		t.Fatalf("stop hook ignored: %+v", res)
+	}
+	// Polls happen at steps 0, 32, 64; the third returns true.
+	if polls != 3 || res.Steps != 64 {
+		t.Fatalf("polls=%d steps=%d, want countdown polling (3 polls, stop at step 64)", polls, res.Steps)
+	}
+}
+
+// TestRunDynClonesInitial: DynOptions.Initial must not be mutated by
+// the run (the campaign pool shares one initial across trials).
+func TestRunDynClonesInitial(t *testing.T) {
+	t.Parallel()
+	dyn := &DynProtocol{
+		Name:    "flip",
+		Initial: 0,
+		Apply: func(a, b DynState, edge bool, _ *RNG) (DynState, DynState, bool, bool) {
+			if !edge {
+				return 1, 1, true, true
+			}
+			return a, b, edge, false
+		},
+	}
+	initial := NewDynConfig(dyn, 4)
+	initial.SetNode(0, 7)
+	res, err := RunDyn(dyn, 4, DynOptions{
+		Seed:                2,
+		CheckEveryEffective: true,
+		Initial:             initial,
+		Stable:              func(cfg *DynConfig) bool { return cfg.Degree(1)+cfg.Degree(2)+cfg.Degree(3) > 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final == initial {
+		t.Fatal("run mutated the caller's initial configuration")
+	}
+	if initial.Node(0) != 7 || initial.Degree(0) != 0 {
+		t.Fatalf("initial configuration mutated: node0=%d deg0=%d", initial.Node(0), initial.Degree(0))
+	}
+}
+
 func TestRunDynInitialAndInterval(t *testing.T) {
 	t.Parallel()
 	dyn := dynNoop()

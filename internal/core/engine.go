@@ -119,6 +119,14 @@ type Options struct {
 	// aborts early with Converged=false and Stopped=true. It is how
 	// callers plug in context cancellation and per-run deadlines.
 	Stop func() bool
+	// Injector, when non-nil, is the scenario layer's engine hook: an
+	// external event source (fault injection) whose events fire at
+	// identical step positions on every engine and mutate the
+	// configuration through a Mutator so the indexed paths stay
+	// consistent incrementally. See Injector. Ignored when n == 1
+	// (no pair ever interacts). Injectors are stateful; supply a fresh
+	// one per run.
+	Injector Injector
 }
 
 // Observer receives effective steps for tracing and figure generation.
@@ -321,6 +329,17 @@ func runBaseline(p *Protocol, cfg *Config, det Detector, opts Options, sched Sch
 	// not a division, per step.
 	stopCountdown := int64(1)
 
+	// Scenario faults fire after a step's interaction and stability
+	// check; the indexed engines replicate this exact ordering, so a
+	// fault plan produces the same event positions on every path.
+	inj := opts.Injector
+	var mut *Mutator
+	var nextFault int64
+	if inj != nil {
+		mut = &Mutator{cfg: cfg}
+		nextFault = inj.NextEvent(0)
+	}
+
 	var step int64
 	for step < maxSteps {
 		if opts.Stop != nil {
@@ -357,6 +376,13 @@ func runBaseline(p *Protocol, cfg *Config, det Detector, opts Options, sched Sch
 			res.Converged = true
 			res.Steps = step
 			return res, nil
+		}
+
+		// Events at or beyond the budget never fire (the run is over
+		// before they could be observed).
+		if nextFault > 0 && nextFault <= step && step < maxSteps {
+			inj.Inject(step, mut)
+			nextFault = inj.NextEvent(step)
 		}
 	}
 	res.Steps = maxSteps

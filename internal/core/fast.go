@@ -109,6 +109,11 @@ type pairSampler interface {
 	// applied is called after an effective Config.Apply on {u, v} with
 	// the pre-step node states and whether the edge flipped.
 	applied(u, v int, beforeU, beforeV State, edgeChanged bool)
+	// nodeChanged and edgeChanged absorb out-of-band mutations
+	// (scenario faults) performed through a Mutator; before is the node
+	// state the index last saw.
+	nodeChanged(u int, before State)
+	edgeChanged(u, v int)
 }
 
 // pairSampler adapter for PairIndex.
@@ -189,6 +194,18 @@ func runIndexed(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, 
 		return res, nil
 	}
 
+	// Scenario faults: the injector announces the step of its next
+	// event; skips are cut short there so events land at the same step
+	// positions as on the baseline path, and the Mutator routes every
+	// mutation through the index.
+	inj := opts.Injector
+	var mut *Mutator
+	var nextFault int64
+	if inj != nil {
+		mut = &Mutator{cfg: cfg, ix: ix}
+		nextFault = inj.NextEvent(0)
+	}
+
 	var step int64
 	for step < maxSteps {
 		// The baseline polls Stop every interval steps; here every loop
@@ -201,6 +218,13 @@ func runIndexed(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, 
 			return res, nil
 		}
 
+		// Fire the events due at the current step (reached by the
+		// fault-horizon cut below, or by a landing at the event step).
+		for nextFault > 0 && nextFault <= step {
+			inj.Inject(step, mut)
+			nextFault = inj.NextEvent(step)
+		}
+
 		// Next landing: skip the geometric run of draws that hit
 		// disabled pairs. land = maxSteps+1 encodes "no landing within
 		// budget" (also the enabled == 0 case: nothing can ever change
@@ -210,6 +234,24 @@ func runIndexed(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, 
 			if skip := rng.Geometric(float64(m) / total); skip < maxSteps-step {
 				land = step + skip + 1
 			}
+		}
+
+		// A pending event before the landing interrupts the skip: the
+		// configuration is frozen up to the event step, so interval
+		// detection on that stretch matches the baseline, and redrawing
+		// the skip from the post-event enabled count is law-preserving
+		// because the geometric distribution is memoryless. Events at or
+		// beyond the budget never fire, exactly as on the baseline.
+		if nextFault > 0 && nextFault < land && nextFault < maxSteps {
+			if det.Trigger == TriggerInterval {
+				if s := nextCheck(step, interval); s <= nextFault && stable() {
+					res.Converged = true
+					res.Steps = s
+					return res, nil
+				}
+			}
+			step = nextFault
+			continue
 		}
 
 		// Between step and the landing the configuration is frozen: an

@@ -130,6 +130,23 @@ func (ix *PairIndex) UpdateEdge(u, v int) {
 	ix.refresh(u, v)
 }
 
+// UpdateNode refreshes the index after an out-of-band write to node
+// u's state (scenario faults applied through a Mutator): only the
+// n−1 pairs incident to u can have changed enabledness, so only they
+// are rescanned — the single-node half of Update, O(n).
+func (ix *PairIndex) UpdateNode(u int) {
+	for x := 0; x < ix.cfg.n; x++ {
+		if x != u {
+			ix.refresh(u, x)
+		}
+	}
+}
+
+// pairSampler adapter for out-of-band mutations (see Mutator).
+
+func (ix *PairIndex) nodeChanged(u int, _ State) { ix.UpdateNode(u) }
+func (ix *PairIndex) edgeChanged(u, v int)       { ix.UpdateEdge(u, v) }
+
 // refresh recomputes one pair's membership from the configuration.
 func (ix *PairIndex) refresh(u, v int) {
 	if u > v {

@@ -1,0 +1,70 @@
+package core
+
+// Injector is the engine-side hook of the scenario layer: an external
+// event source (crash faults, adversarial edge deletions, state
+// resets) that mutates the configuration *between* interactions while
+// the running engine keeps its incremental structures consistent.
+//
+// The contract is step-positional so every execution path sees the
+// same event sequence: the engine asks NextEvent for the first event
+// step strictly after `after` and calls Inject exactly once when the
+// run reaches that step — after the step's interaction and stability
+// check, mirroring the baseline loop's order. The indexed engines cut
+// their geometric skips short at event steps and redraw from the
+// post-event enabled count, which preserves the baseline law exactly
+// because the geometric distribution is memoryless. Events scheduled
+// at or beyond MaxSteps never fire.
+//
+// Injected mutations are environment events, not protocol steps: they
+// advance no step counter, contribute to none of the Result metrics
+// (EffectiveSteps, EdgeChanges, ConvergenceTime), and are not
+// delivered to observers.
+type Injector interface {
+	// NextEvent returns the step of the first event strictly after
+	// `after`, or 0 when no events remain.
+	NextEvent(after int64) int64
+	// Inject applies every event scheduled at steps ≤ step. All
+	// mutation must go through the Mutator so the engine's index stays
+	// consistent.
+	Inject(step int64, m *Mutator)
+}
+
+// Mutator applies out-of-band configuration mutations on behalf of an
+// Injector, keeping whatever incremental index the running engine
+// maintains (the fast engine's PairIndex, the sparse engine's
+// ClassIndex) synchronized. Updates are incremental, never rebuilds: a
+// node write costs O(n) on the fast path and O(deg + |Q|) on the
+// sparse path, an edge write O(1) on both; the baseline path carries
+// no index and pays nothing.
+type Mutator struct {
+	cfg *Config
+	ix  pairSampler // nil on the baseline path
+}
+
+// Config exposes the live configuration for reading (picking victims,
+// walking active edges). Mutate only through the Mutator's setters;
+// writing to the Config directly desynchronizes the engine's index.
+func (m *Mutator) Config() *Config { return m.cfg }
+
+// SetNode overwrites node u's state.
+func (m *Mutator) SetNode(u int, s State) {
+	before := m.cfg.nodes[u]
+	if before == s {
+		return
+	}
+	m.cfg.SetNode(u, s)
+	if m.ix != nil {
+		m.ix.nodeChanged(u, before)
+	}
+}
+
+// SetEdge overwrites the state of edge {u, v}.
+func (m *Mutator) SetEdge(u, v int, active bool) {
+	if m.cfg.Edge(u, v) == active {
+		return
+	}
+	m.cfg.SetEdge(u, v, active)
+	if m.ix != nil {
+		m.ix.edgeChanged(u, v)
+	}
+}

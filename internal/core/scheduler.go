@@ -71,6 +71,75 @@ func (s *PermutationScheduler) Next(cfg *Config, rng *RNG) (int, int) {
 // Name implements Scheduler.
 func (s *PermutationScheduler) Name() string { return "permutation" }
 
+// WeightedScheduler is a heterogeneous-rate random scheduler: every
+// node carries a relative clock rate and each step draws both
+// endpoints rate-proportionally (the second from the remaining
+// nodes), modelling populations whose members interact at different
+// speeds — the scheduler variation the NETCS-style simulators expose.
+// Nodes in the id prefix [0, ⌈HotFraction·n⌉) run at Boost times the
+// rate of the rest. Every pair keeps positive probability each step,
+// so fairness holds with probability 1 and the paper's stabilization
+// theorems still apply, but the uniform-scheduler running-time
+// analysis does not — the indexed engines reject it, and EngineAuto
+// falls back to the baseline loop.
+type WeightedScheduler struct {
+	// HotFraction is the fraction of the population running hot;
+	// values ≤ 0 default to 0.25, values > 1 clamp to 1.
+	HotFraction float64
+	// Boost is the hot nodes' rate multiple; values ≤ 0 default to 4.
+	Boost float64
+}
+
+// Next implements Scheduler.
+func (s *WeightedScheduler) Next(cfg *Config, rng *RNG) (int, int) {
+	n := cfg.N()
+	frac := s.HotFraction
+	if frac <= 0 {
+		frac = 0.25
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	boost := s.Boost
+	if boost <= 0 {
+		boost = 4
+	}
+	hot := int(frac * float64(n))
+	if hot < 1 {
+		hot = 1
+	}
+	if hot > n {
+		hot = n
+	}
+	u := weightedNode(n, hot, boost, rng)
+	v := u
+	for v == u {
+		v = weightedNode(n, hot, boost, rng)
+	}
+	return u, v
+}
+
+// weightedNode draws one node with probability proportional to its
+// rate (boost for the hot prefix, 1 for the rest).
+func weightedNode(n, hot int, boost float64, rng *RNG) int {
+	hotMass := boost * float64(hot)
+	x := rng.Float64() * (hotMass + float64(n-hot))
+	var u int
+	if x < hotMass {
+		u = int(x / boost)
+	} else {
+		u = hot + int(x-hotMass)
+	}
+	if u >= n {
+		// Guard the floating-point edge where x rounds up to the total.
+		u = n - 1
+	}
+	return u
+}
+
+// Name implements Scheduler.
+func (s *WeightedScheduler) Name() string { return "weighted" }
+
 // BiasedScheduler is an adversarially skewed (but still fair) random
 // scheduler: with probability 1−Epsilon it picks a pair within the
 // "slow" prefix of nodes [0, Cut), otherwise a uniform pair. Every pair

@@ -87,12 +87,13 @@ func sweep(name string, points []campaign.Point) (Series, error) {
 	return series, nil
 }
 
-// MeasureProcess sweeps a Table 1 process over sizes. For the pure
-// processes the detection step is the convergence step: the predicate
-// flips exactly when the last conversion happens (which may be a
-// node-state change, not an edge one), so the campaign measures
-// MetricSteps.
-func MeasureProcess(proc processes.Process, sizes []int, trials int, seed uint64) (Series, error) {
+// MeasureProcess sweeps a Table 1 process over sizes on the given
+// execution engine (core.EngineAuto picks the indexed paths under the
+// uniform scheduler). For the pure processes the detection step is the
+// convergence step: the predicate flips exactly when the last
+// conversion happens (which may be a node-state change, not an edge
+// one), so the campaign measures MetricSteps.
+func MeasureProcess(proc processes.Process, sizes []int, trials int, seed uint64, engine core.Engine) (Series, error) {
 	points := make([]campaign.Point, 0, len(sizes))
 	for _, n := range sizes {
 		initial, err := proc.Initial(n)
@@ -106,6 +107,7 @@ func MeasureProcess(proc processes.Process, sizes []int, trials int, seed uint64
 			BaseSeed: seed,
 			Proto:    proc.Proto,
 			Detector: proc.Detector,
+			Engine:   engine,
 			Metric:   campaign.MetricSteps,
 			Expected: proc.Expected(n),
 		}
@@ -125,13 +127,13 @@ func MeasureProcess(proc processes.Process, sizes []int, trials int, seed uint64
 	return series, nil
 }
 
-// MeasureProtocol sweeps a Table 2 constructor over sizes, reporting
-// the paper's convergence time (last output change).
-func MeasureProtocol(c protocols.Constructor, sizes []int, trials int, seed uint64) (Series, error) {
-	return sweep(c.Proto.Name(), protocolPoints(c, sizes, trials, seed))
+// MeasureProtocol sweeps a Table 2 constructor over sizes on the given
+// engine, reporting the paper's convergence time (last output change).
+func MeasureProtocol(c protocols.Constructor, sizes []int, trials int, seed uint64, engine core.Engine) (Series, error) {
+	return sweep(c.Proto.Name(), protocolPoints(c, sizes, trials, seed, engine))
 }
 
-func protocolPoints(c protocols.Constructor, sizes []int, trials int, seed uint64) []campaign.Point {
+func protocolPoints(c protocols.Constructor, sizes []int, trials int, seed uint64, engine core.Engine) []campaign.Point {
 	points := make([]campaign.Point, 0, len(sizes))
 	for _, n := range sizes {
 		points = append(points, campaign.Point{
@@ -141,17 +143,19 @@ func protocolPoints(c protocols.Constructor, sizes []int, trials int, seed uint6
 			BaseSeed: seed,
 			Proto:    c.Proto,
 			Detector: c.Detector,
+			Engine:   engine,
 			Metric:   campaign.MetricConvergenceTime,
 		})
 	}
 	return points
 }
 
-// MeasureReplication sweeps Graph-Replication: for each n, the input
-// is a ring on ⌊n/2⌋ nodes replicated onto the other half.
-func MeasureReplication(sizes []int, trials int, seed uint64) (Series, error) {
+// MeasureReplication sweeps Graph-Replication on the given engine: for
+// each n, the input is a ring on ⌊n/2⌋ nodes replicated onto the other
+// half.
+func MeasureReplication(sizes []int, trials int, seed uint64, engine core.Engine) (Series, error) {
 	c := protocols.GraphReplication()
-	spec := campaign.Spec{Trials: trials, Seed: seed, Items: []campaign.Item{
+	spec := campaign.Spec{Trials: trials, Seed: seed, Engine: engine.String(), Items: []campaign.Item{
 		{Kind: "replication", Sizes: sizes},
 	}}
 	points, err := spec.Compile()
@@ -170,12 +174,12 @@ type Comparison struct {
 	Faster []float64
 }
 
-// CompareLineProtocols measures both protocols on the same sweep. The
-// two sweeps execute as a single campaign, so their runs interleave on
-// the worker pool.
-func CompareLineProtocols(sizes []int, trials int, seed uint64) (Comparison, error) {
-	fast := protocolPoints(protocols.FastGlobalLine(), sizes, trials, seed)
-	faster := protocolPoints(protocols.FasterGlobalLine(), sizes, trials, seed)
+// CompareLineProtocols measures both protocols on the same sweep and
+// engine. The two sweeps execute as a single campaign, so their runs
+// interleave on the worker pool.
+func CompareLineProtocols(sizes []int, trials int, seed uint64, engine core.Engine) (Comparison, error) {
+	fast := protocolPoints(protocols.FastGlobalLine(), sizes, trials, seed, engine)
+	faster := protocolPoints(protocols.FasterGlobalLine(), sizes, trials, seed, engine)
 	out, err := campaign.Execute(context.Background(), append(fast, faster...), campaign.Options{})
 	if err != nil {
 		return Comparison{}, err

@@ -3,6 +3,7 @@ package experiments
 import (
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/processes"
 	"repro/internal/protocols"
 )
@@ -10,7 +11,7 @@ import (
 func TestMeasureProcessTracksTheory(t *testing.T) {
 	t.Parallel()
 	proc := processes.OneWayEpidemic()
-	series, err := MeasureProcess(proc, []int{16, 32, 64}, 40, 1)
+	series, err := MeasureProcess(proc, []int{16, 32, 64}, 40, 1, core.EngineAuto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestMeasureProcessTracksTheory(t *testing.T) {
 
 func TestMeasureProtocolExponent(t *testing.T) {
 	t.Parallel()
-	series, err := MeasureProtocol(protocols.CycleCover(), []int{16, 32, 64}, 20, 1)
+	series, err := MeasureProtocol(protocols.CycleCover(), []int{16, 32, 64}, 20, 1, core.EngineAuto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestMeasureProtocolExponent(t *testing.T) {
 
 func TestMeasureReplication(t *testing.T) {
 	t.Parallel()
-	series, err := MeasureReplication([]int{8, 12}, 3, 1)
+	series, err := MeasureReplication([]int{8, 12}, 3, 1, core.EngineAuto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestMeasureReplication(t *testing.T) {
 
 func TestCompareLineProtocols(t *testing.T) {
 	t.Parallel()
-	cmp, err := CompareLineProtocols([]int{16, 32}, 6, 1)
+	cmp, err := CompareLineProtocols([]int{16, 32}, 6, 1, core.EngineAuto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestCompareLineProtocols(t *testing.T) {
 
 func TestRatioSpreadRequiresReference(t *testing.T) {
 	t.Parallel()
-	series, err := MeasureProtocol(protocols.GlobalStar(), []int{8, 16}, 2, 1)
+	series, err := MeasureProtocol(protocols.GlobalStar(), []int{8, 16}, 2, 1, core.EngineBaseline)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestFaultSweep checks the qualitative fault-tolerance prediction end
+// to end: with no crashes Simple-Global-Line builds one spanning line;
+// with crashes it partitions into smaller lines — the largest
+// surviving component shrinks (at most n−k nodes remain in Qout) and
+// the component count grows.
+func TestFaultSweep(t *testing.T) {
+	t.Parallel()
+	const n = 16
+	points, err := FaultSweep(n, []int{0, 4}, 6, 1, core.EngineAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points %+v", points)
+	}
+	faultFree, faulty := points[0], points[1]
+	if faultFree.Crashes != 0 || faulty.Crashes != 4 {
+		t.Fatalf("crash labels %+v", points)
+	}
+	// Fault-free runs quiesce as one spanning line over all n nodes.
+	if faultFree.Converged != faultFree.Trials || faultFree.LargestComponent != n || faultFree.Components != 1 {
+		t.Fatalf("fault-free cell %+v, want a spanning line on every trial", faultFree)
+	}
+	// Four dead nodes leave at most 12 output nodes, necessarily in a
+	// strictly smaller largest component; singleton survivors make the
+	// component count grow past 1.
+	if faulty.LargestComponent > float64(n-4) {
+		t.Fatalf("faulty cell %+v: largest component exceeds the survivor count", faulty)
+	}
+	if faulty.LargestComponent >= faultFree.LargestComponent || faulty.Components <= faultFree.Components {
+		t.Fatalf("no partition visible: %+v vs %+v", faulty, faultFree)
+	}
+}

@@ -11,6 +11,8 @@
 //	internal/check       exhaustive model checker for small populations
 //	internal/tm          Turing-machine substrate for Section 6
 //	internal/universal   the generic constructors (Theorems 14–18)
+//	internal/scenario    fault injection (crash / edge-delete / reset
+//	                     plans) composing with all three engines
 //	internal/campaign    the concurrent sweep engine (worker pool,
 //	                     streaming aggregation, JSON/CSV export)
 //	internal/experiments sweeps shared by cmd/tables and the benchmarks,
