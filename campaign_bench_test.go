@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"repro/internal/campaign"
+	"repro/internal/core"
 	"repro/internal/protocols"
 )
 
@@ -61,5 +62,68 @@ func BenchmarkCampaign(b *testing.B) {
 	}
 	if serial != nil && parallel != nil && !reflect.DeepEqual(serial, parallel) {
 		b.Fatalf("worker count changed the aggregates:\n%+v\nvs\n%+v", serial, parallel)
+	}
+}
+
+// BenchmarkCampaignThroughput measures the zero-allocation trial
+// pipeline: the same sweep executed with per-worker reusable
+// workspaces (the default) and with Options.FreshAlloc (every trial
+// allocates and rebuilds its Θ(n²) index and edge store from scratch).
+// The workload is the setup-dominated regime the workspaces target —
+// many short trials of a large point, where the geometric-skip engines
+// make the simulation itself nearly free and per-trial setup is the
+// bill — so the ratio between the alloc=fresh and alloc=workspace rows
+// is the pipeline win. Aggregates are asserted bit-identical across
+// the two modes (the workspace contract). Run with -benchmem to see
+// the allocation collapse:
+//
+//	go test -bench BenchmarkCampaignThroughput -benchtime 3x -benchmem
+type campaignThroughputMode struct {
+	name  string
+	fresh bool
+}
+
+func BenchmarkCampaignThroughput(b *testing.B) {
+	const trials = 32
+	for _, n := range []int{512, 2048} {
+		points := func() []campaign.Point {
+			cc := protocols.CycleCover()
+			return []campaign.Point{{
+				Protocol: "cycle-cover",
+				N:        n,
+				Trials:   trials,
+				BaseSeed: 1,
+				Proto:    cc.Proto,
+				Detector: cc.Detector,
+				Engine:   core.EngineFast,
+				// A short fixed budget keeps the trials in the
+				// setup-dominated steady state; budget exhaustion is a
+				// deterministic cut, so the measured values stay
+				// comparable across modes.
+				MaxSteps:           64,
+				IncludeUnconverged: true,
+				Metric:             campaign.MetricEffectiveSteps,
+			}}
+		}
+		byMode := map[string][]campaign.Aggregate{}
+		for _, mode := range []campaignThroughputMode{{"fresh", true}, {"workspace", false}} {
+			mode := mode
+			b.Run(fmt.Sprintf("n=%d/alloc=%s", n, mode.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					out, err := campaign.Execute(context.Background(), points(), campaign.Options{
+						Workers:    1, // per-trial cost, undiluted by parallelism
+						FreshAlloc: mode.fresh,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					byMode[mode.name] = out.Aggregates
+				}
+				b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+			})
+		}
+		if f, w := byMode["fresh"], byMode["workspace"]; f != nil && w != nil && !reflect.DeepEqual(f, w) {
+			b.Fatalf("workspace reuse changed the aggregates at n=%d:\n%+v\nvs\n%+v", n, f, w)
+		}
 	}
 }

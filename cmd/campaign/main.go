@@ -58,6 +58,7 @@ func run() error {
 		maxSteps = flag.Int64("max-steps", 0, "per-run step budget (0 = per-n default)")
 		workers  = flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 0, "per-run wall-clock cap (0 = none)")
+		freshAlc = flag.Bool("fresh-alloc", false, "disable per-worker run workspaces (every trial allocates fresh state; results are identical, only slower)")
 		out      = flag.String("out", "", "aggregate output path (default stdout)")
 		runsOut  = flag.String("runs-out", "", "also write raw per-run records to this path")
 		format   = flag.String("format", "json", "output format: json or csv")
@@ -95,9 +96,10 @@ func run() error {
 	defer stop()
 
 	opts := campaign.Options{
-		Workers:  *workers,
-		Timeout:  *timeout,
-		KeepRuns: *runsOut != "",
+		Workers:    *workers,
+		Timeout:    *timeout,
+		KeepRuns:   *runsOut != "",
+		FreshAlloc: *freshAlc,
 	}
 	total := 0
 	for _, pt := range points {

@@ -43,6 +43,7 @@ func run() error {
 		faults   = flag.String("faults", "", `fault plan, e.g. "crash@500x2,edge@0.001,reset@1000"`)
 		detector = flag.String("detector", "", "stability predicate: target (default), quiescence, or edge-quiescence; fault runs default to quiescence")
 		dot      = flag.Bool("dot", false, "print the final network as Graphviz DOT")
+		freshAlc = flag.Bool("fresh-alloc", false, "disable per-worker run workspaces (every trial allocates fresh state; results are identical, only slower)")
 		list     = flag.Bool("list", false, "list registered protocols and exit")
 	)
 	flag.Parse()
@@ -109,7 +110,8 @@ func run() error {
 		Faults:       plan,
 		Metric:       campaign.MetricConvergenceTime,
 	}}, campaign.Options{
-		Workers: *workers,
+		Workers:    *workers,
+		FreshAlloc: *freshAlc,
 		OnRun: func(rec campaign.RunRecord) {
 			if !rec.Converged {
 				fmt.Printf("  trial %d: DID NOT CONVERGE within %d steps\n", rec.Trial, rec.Steps)

@@ -238,6 +238,58 @@ func TestEngineEquivalenceFaults(t *testing.T) {
 	}
 }
 
+// TestWorkspaceCampaignEquivalence extends the equivalence net to the
+// zero-allocation trial pipeline: the full protocol/process grid run
+// through the campaign engine with its default per-worker reusable
+// workspaces must produce per-run records bit-identical — not merely
+// equal in distribution — to the same campaign with workspaces
+// disabled (Options.FreshAlloc), on every engine. This is the
+// workspace contract (reuse changes no result bit) asserted end to
+// end through the worker pool, where job-stream order — and therefore
+// which trial inherits which dirty workspace state — is scheduling-
+// dependent.
+func TestWorkspaceCampaignEquivalence(t *testing.T) {
+	t.Parallel()
+	trials := 24
+	if testing.Short() {
+		trials = 8
+	}
+	execute := func(engine core.Engine, fresh bool) []campaign.RunRecord {
+		t.Helper()
+		points := equivalencePoints(t, trials)
+		for i := range points {
+			points[i].Engine = engine
+		}
+		out, err := campaign.Execute(context.Background(), points, campaign.Options{
+			KeepRuns:   true,
+			FreshAlloc: fresh,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Runs
+	}
+	for _, engine := range []core.Engine{core.EngineBaseline, core.EngineFast, core.EngineSparse} {
+		engine := engine
+		t.Run(fmt.Sprintf("engine=%s", engine), func(t *testing.T) {
+			t.Parallel()
+			freshRuns := execute(engine, true)
+			reusedRuns := execute(engine, false)
+			if len(freshRuns) != len(reusedRuns) {
+				t.Fatalf("record count mismatch: %d fresh vs %d reused", len(freshRuns), len(reusedRuns))
+			}
+			for i := range freshRuns {
+				a, b := freshRuns[i], reusedRuns[i]
+				// Wall clock is the one nondeterministic record field.
+				a.DurationNS, b.DurationNS = 0, 0
+				if a != b {
+					t.Fatalf("record %d diverged:\nfresh  %+v\nreused %+v", i, a, b)
+				}
+			}
+		})
+	}
+}
+
 // TestEngineEquivalenceSecondaryMetrics repeats the comparison for the
 // remaining step-count metrics on two contrasting workloads: an
 // edge-heavy quiescent constructor and a node-state-heavy line

@@ -282,6 +282,15 @@ type Options struct {
 	// the aggregates — in deterministic global order, so a record may
 	// be delivered a little after its run finished.
 	OnRun func(RunRecord)
+	// FreshAlloc disables the per-worker run workspaces, making every
+	// trial allocate and initialize its simulation state from scratch.
+	// By default each worker goroutine owns one core.Workspace reused
+	// across its whole job stream, which makes steady-state trials
+	// allocation-free; per-trial results are bit-identical either way
+	// (the workspace contract), so this knob exists only to measure the
+	// workspace win (BenchmarkCampaignThroughput) and to simplify
+	// allocation debugging.
+	FreshAlloc bool
 }
 
 // Outcome is the result of executing a campaign.
@@ -342,12 +351,23 @@ func Execute(ctx context.Context, points []Point, opts Options) (Outcome, error)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One workspace per worker for its whole job stream: every
+			// trial after the worker's first reuses the backing arrays
+			// (configuration, engine index, RNG) instead of reallocating
+			// them, so steady-state campaign throughput is bounded by the
+			// simulation, not the allocator. Workspaces never change a
+			// result bit, so aggregates stay independent of Workers and
+			// of this optimization.
+			var ws *core.Workspace
+			if !opts.FreshAlloc {
+				ws = core.NewWorkspace()
+			}
 			for gid := range jobs {
 				if runCtx.Err() != nil {
 					continue // drain without running
 				}
 				p, t := locate(offsets, points, gid)
-				results <- taggedRecord{gid: gid, rec: runTrial(runCtx, &points[p], p, t, opts.Timeout)}
+				results <- taggedRecord{gid: gid, rec: runTrial(runCtx, &points[p], p, t, opts.Timeout, ws)}
 			}
 		}()
 	}
@@ -511,8 +531,11 @@ func schedulerLabel(pt Point) string {
 
 // runTrial executes one run and never returns an unrecoverable error:
 // failures are encoded on the record so the collector can count and
-// report them deterministically.
-func runTrial(ctx context.Context, pt *Point, pointIdx, trial int, timeout time.Duration) RunRecord {
+// report them deterministically. ws, when non-nil, is the calling
+// worker's reusable run workspace; the metric is extracted before
+// runTrial returns, so the borrowed Result.Final is never read after
+// the workspace's next run begins.
+func runTrial(ctx context.Context, pt *Point, pointIdx, trial int, timeout time.Duration, ws *core.Workspace) RunRecord {
 	rec := RunRecord{
 		Point:     pointIdx,
 		Protocol:  pt.Protocol,
@@ -549,6 +572,7 @@ func runTrial(ctx context.Context, pt *Point, pointIdx, trial int, timeout time.
 		CheckInterval: pt.CheckInterval,
 		Observer:      pt.Observer,
 		Stop:          stop,
+		Workspace:     ws,
 	}
 	if pt.NewScheduler != nil {
 		opts.Scheduler = pt.NewScheduler()
@@ -601,6 +625,16 @@ func runTrial(ctx context.Context, pt *Point, pointIdx, trial int, timeout time.
 // runDynTrial is runTrial's dynamic-protocol branch: core.RunDyn with
 // the same cancellation and timeout plumbing, mapped onto the shared
 // record shape (Engine "dynamic", no edge-change counter).
+//
+// Workspace audit: dynamic trials deliberately keep fresh allocation.
+// A DynConfig is O(n + n²/64) bytes with no Θ(n²) enabled-pair index
+// behind it — per-trial setup is a vanishing fraction of a Section 6
+// run, which simulates a Turing machine step by step — and the
+// caller-supplied DynStable predicate may retain DynResult.Final,
+// which a reuse contract would invalidate. If dynamic sweeps ever grow
+// a hot setup path, the place to add reuse is a DynWorkspace mirroring
+// core.Workspace, not sharing this one (the config types are
+// disjoint).
 func runDynTrial(pt *Point, rec RunRecord, stop func() bool) RunRecord {
 	dopts := core.DynOptions{
 		Seed:          rec.Seed,

@@ -70,22 +70,52 @@ type ClassIndex struct {
 // NewClassIndex builds the index for the configuration's current state
 // in O(n + m + |Q|²). The population must be at most maxSparseNodes.
 func NewClassIndex(cfg *Config) *ClassIndex {
+	ci := &ClassIndex{edgeSlot: make(map[uint64]int32)}
+	ci.reset(cfg)
+	return ci
+}
+
+// reset rebinds the index to cfg and rebuilds it in place in
+// O(n + m + |Q|²), reusing the backing arrays (and the edge-slot
+// map's buckets) whenever they fit — the workspace path's
+// allocation-free fresh build. NewClassIndex delegates here, so there
+// is exactly one copy of the order-sensitive construction and a reset
+// index samples bit-identically to a fresh one by construction.
+func (ci *ClassIndex) reset(cfg *Config) {
 	n := cfg.n
 	if n > maxSparseNodes {
 		panic(fmt.Sprintf("core: ClassIndex supports populations up to %d, got %d", maxSparseNodes, n))
 	}
 	q := cfg.proto.Size()
-	ci := &ClassIndex{
-		cfg:       cfg,
-		q:         q,
-		byState:   make([][]int32, q),
-		slot:      make([]int32, n),
-		edgeCount: make([]int64, q*q),
-		edgeList:  make([][]uint64, q*q),
-		edgeSlot:  make(map[uint64]int32),
-		w:         make([]int64, 2*q*q),
-		we:        make([]int64, 2*q*q),
+	ci.cfg = cfg
+	if ci.q != q {
+		ci.q = q
+		ci.byState = make([][]int32, q)
+		ci.edgeCount = make([]int64, q*q)
+		ci.edgeList = make([][]uint64, q*q)
+		ci.w = make([]int64, 2*q*q)
+		ci.we = make([]int64, 2*q*q)
+	} else {
+		for i := range ci.byState {
+			ci.byState[i] = ci.byState[i][:0]
+		}
+		for i := range ci.edgeList {
+			ci.edgeCount[i] = 0
+			ci.edgeList[i] = ci.edgeList[i][:0]
+		}
+		for i := range ci.w {
+			ci.w[i] = 0
+			ci.we[i] = 0
+		}
 	}
+	if cap(ci.slot) < n {
+		ci.slot = make([]int32, n)
+	} else {
+		ci.slot = ci.slot[:n]
+	}
+	clear(ci.edgeSlot)
+	ci.enabled, ci.edgeEnabled = 0, 0
+
 	for u, s := range cfg.nodes {
 		ci.slot[u] = int32(len(ci.byState[s]))
 		ci.byState[s] = append(ci.byState[s], int32(u))
@@ -98,7 +128,6 @@ func NewClassIndex(cfg *Config) *ClassIndex {
 			ci.reweigh(a, b)
 		}
 	}
-	return ci
 }
 
 // Enabled returns the number of currently enabled pairs.

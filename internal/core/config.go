@@ -61,6 +61,54 @@ func (c *Config) Clone() *Config {
 	return d
 }
 
+// resetDefault reinitializes c in place to protocol p's all-q0 initial
+// configuration — NewConfig's result without its allocations. The
+// population size is unchanged (the workspace reallocates on n
+// changes, because the storage kind is a function of n); the protocol
+// may differ from the previous run's.
+func (c *Config) resetDefault(p *Protocol) {
+	c.proto = p
+	for i := range c.nodes {
+		c.nodes[i] = p.initial
+	}
+	c.store.reset()
+	for i := range c.degree {
+		c.degree[i] = 0
+	}
+	c.counts = resizeCounts(c.counts, p.Size())
+	c.counts[p.initial] = c.n
+	c.activeEdges = 0
+}
+
+// copyFrom makes c an in-place deep copy of src — Clone's result
+// without its allocations. src must have the same population size
+// (and therefore the same storage kind); it may be c itself, in which
+// case the copy is a no-op, which is how a run seeded from the
+// workspace's own previous Final works.
+func (c *Config) copyFrom(src *Config) {
+	c.proto = src.proto
+	copy(c.nodes, src.nodes)
+	c.store.copyFrom(src.store)
+	copy(c.degree, src.degree)
+	// append, not resizeCounts+copy: resizing zeroes in place, which
+	// would wipe src.counts first when src aliases the receiver.
+	c.counts = append(c.counts[:0], src.counts...)
+	c.activeEdges = src.activeEdges
+}
+
+// resizeCounts returns a zeroed int slice of length size, reusing dst's
+// backing array when it is large enough.
+func resizeCounts(dst []int, size int) []int {
+	if cap(dst) < size {
+		return make([]int, size)
+	}
+	dst = dst[:size]
+	for i := range dst {
+		dst[i] = 0
+	}
+	return dst
+}
+
 // Protocol returns the protocol this configuration belongs to.
 func (c *Config) Protocol() *Protocol { return c.proto }
 

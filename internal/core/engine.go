@@ -127,6 +127,14 @@ type Options struct {
 	// (no pair ever interacts). Injectors are stateful; supply a fresh
 	// one per run.
 	Injector Injector
+	// Workspace, when non-nil, supplies reusable run state — the
+	// configuration, the engine index, and the RNG are reset in place
+	// instead of freshly allocated, making steady-state repeated runs
+	// allocation-free without changing any result bit (see Workspace).
+	// Nil keeps the fresh-allocation behavior. With a workspace,
+	// Result.Final is borrowed: it is valid only until the workspace's
+	// next run, and callers who retain it must Clone it.
+	Workspace *Workspace
 }
 
 // Observer receives effective steps for tracing and figure generation.
@@ -159,7 +167,11 @@ type Result struct {
 	// Engine records the execution path that produced this result
 	// (never EngineAuto).
 	Engine Engine
-	// Final is the final configuration.
+	// Final is the final configuration. Runs with Options.Workspace set
+	// borrow it from the workspace: it is valid until the workspace's
+	// next run begins, so callers retaining it longer (or mutating it)
+	// must Clone it first. Without a workspace the caller owns it
+	// outright.
 	Final *Config
 }
 
@@ -199,15 +211,23 @@ func DefaultMaxSteps(n int) int64 {
 
 // DefaultCheckInterval returns the period, in scheduler steps, at
 // which interval-triggered detectors and Options.Stop are polled when
-// Options.CheckInterval is zero: max(1024, n²). The n² term amortizes
-// an O(n²) stability scan to O(1) per step; the floor keeps tiny
-// populations from polling every few steps. Run, the fast engine and
+// Options.CheckInterval is zero: n² clamped to [1024, 2²²]. The n²
+// term amortizes an O(n²) stability scan to O(1) per step; the floor
+// keeps tiny populations from polling every few steps; the ceiling
+// keeps Stop polling — and with it campaign timeouts and context
+// cancellation — responsive on large baseline runs, where an uncapped
+// n² default (2⁴⁰ steps between polls at n = 2²⁰) would mean the run
+// effectively never observes a stop request. Run, the fast engine and
 // RunDyn all share this helper, so the default cannot drift between
 // paths.
 func DefaultCheckInterval(n int) int64 {
+	const ceiling = int64(1) << 22
 	interval := int64(n) * int64(n)
 	if interval < 1024 {
 		interval = 1024
+	}
+	if interval > ceiling {
+		interval = ceiling
 	}
 	return interval
 }
@@ -219,7 +239,6 @@ func Run(p *Protocol, n int, opts Options) (Result, error) {
 	if n < 1 {
 		return Result{}, errors.New("core: population size must be ≥ 1")
 	}
-	var cfg *Config
 	if opts.Initial != nil {
 		if opts.Initial.proto != p {
 			return Result{}, fmt.Errorf("core: initial configuration belongs to protocol %q, not %q", opts.Initial.proto.Name(), p.Name())
@@ -227,8 +246,14 @@ func Run(p *Protocol, n int, opts Options) (Result, error) {
 		if opts.Initial.N() != n {
 			return Result{}, fmt.Errorf("core: initial configuration has %d nodes, want %d", opts.Initial.N(), n)
 		}
+	}
+	var cfg *Config
+	switch {
+	case opts.Workspace != nil:
+		cfg = opts.Workspace.config(p, n, opts.Initial)
+	case opts.Initial != nil:
 		cfg = opts.Initial.Clone()
-	} else {
+	default:
 		cfg = NewConfig(p, n)
 	}
 
@@ -274,7 +299,12 @@ func Run(p *Protocol, n int, opts Options) (Result, error) {
 		interval = DefaultCheckInterval(n)
 	}
 
-	rng := NewRNG(opts.Seed)
+	var rng *RNG
+	if opts.Workspace != nil {
+		rng = opts.Workspace.rngFor(opts.Seed)
+	} else {
+		rng = NewRNG(opts.Seed)
+	}
 
 	if n == 1 {
 		// No pairs exist to ever interact.

@@ -243,6 +243,53 @@ func TestDefaultMaxSteps(t *testing.T) {
 	}
 }
 
+func TestDefaultCheckIntervalClamped(t *testing.T) {
+	t.Parallel()
+	if got := DefaultCheckInterval(4); got != 1024 {
+		t.Fatalf("tiny-n interval %d, want the 1024 floor", got)
+	}
+	if got := DefaultCheckInterval(100); got != 100*100 {
+		t.Fatalf("mid-n interval %d, want n²", got)
+	}
+	// The ceiling is the bugfix: an uncapped n² default at large n
+	// (2⁴⁰ steps at n = 2²⁰) meant the baseline engine effectively
+	// never polled Options.Stop, so campaign timeouts and context
+	// cancellation could not reach long baseline runs.
+	if got := DefaultCheckInterval(1 << 20); got != 1<<22 {
+		t.Fatalf("large-n interval %d, want the 1<<22 ceiling", got)
+	}
+}
+
+// TestStopReachesLargeBaselineRuns exercises the DefaultCheckInterval
+// ceiling end to end: a large-population baseline run with a hostile
+// step budget must observe a Stop request after at most one capped
+// interval, not after n² steps.
+func TestStopReachesLargeBaselineRuns(t *testing.T) {
+	t.Parallel()
+	p, _ := epidemicProtocol()
+	const n = 5000 // n² ≈ 6× the interval ceiling
+	polls := 0
+	res, err := Run(p, n, Options{
+		Seed:     1,
+		Engine:   EngineBaseline,
+		Detector: Detector{Trigger: TriggerInterval, Stable: func(*Config) bool { return false }},
+		MaxSteps: 1 << 62,
+		Stop: func() bool {
+			polls++
+			return polls > 1 // survive the pre-loop poll, stop at the next
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatalf("run not stopped: %+v", res)
+	}
+	if want := DefaultCheckInterval(n); res.Steps != want {
+		t.Fatalf("stopped after %d steps, want one capped interval (%d)", res.Steps, want)
+	}
+}
+
 func TestRunDynValidation(t *testing.T) {
 	t.Parallel()
 	dp := &DynProtocol{

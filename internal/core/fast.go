@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Engine selects the execution path of Run.
 type Engine int
@@ -132,9 +135,18 @@ func (ix *PairIndex) applied(u, v int, beforeU, beforeV State, _ bool) {
 }
 
 // runFast is the enabled-pair-index engine: runIndexed over a dense
-// PairIndex (Θ(n²) memory, O(n) update per effective step).
+// PairIndex (Θ(n²) memory, O(n) update per effective step). With a
+// workspace the index is reset in place — and for default-start runs
+// restored from the workspace's start-state snapshot — instead of
+// freshly built.
 func runFast(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, interval int64, rng *RNG) (Result, error) {
-	return runIndexed(p, cfg, det, opts, maxSteps, interval, rng, NewPairIndex(cfg), EngineFast)
+	var ix *PairIndex
+	if ws := opts.Workspace; ws != nil {
+		ix = ws.pairIndex(cfg, opts.Initial == nil)
+	} else {
+		ix = NewPairIndex(cfg)
+	}
+	return runIndexed(p, cfg, det, opts, maxSteps, interval, rng, ix, EngineFast)
 }
 
 // runSparse is the state-class engine: runIndexed over a ClassIndex
@@ -142,7 +154,13 @@ func runFast(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, int
 // O(1) expected sampling). It simulates the same law as runFast and
 // the baseline; only the data structure scaling differs.
 func runSparse(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, interval int64, rng *RNG) (Result, error) {
-	return runIndexed(p, cfg, det, opts, maxSteps, interval, rng, NewClassIndex(cfg), EngineSparse)
+	var ix *ClassIndex
+	if ws := opts.Workspace; ws != nil {
+		ix = ws.classIndex(cfg)
+	} else {
+		ix = NewClassIndex(cfg)
+	}
+	return runIndexed(p, cfg, det, opts, maxSteps, interval, rng, ix, EngineSparse)
 }
 
 // runIndexed is the shared engine behind EngineFast and EngineSparse.
@@ -206,6 +224,16 @@ func runIndexed(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, 
 		nextFault = inj.NextEvent(0)
 	}
 
+	// Geometric-skip memo: ln(1 − m/total) is a pure function of the
+	// enabled-pair count m, and m repeats heavily between effective
+	// steps (most landings change it by at most a few units, and phases
+	// often hold it constant), so the logarithm from the previous
+	// landing is reused whenever m is unchanged — saving one of the two
+	// math.Log calls per landing. The drawn variate is identical, so
+	// runs are unchanged bit for bit.
+	memoM := int64(-1)
+	var memoLn float64
+
 	var step int64
 	for step < maxSteps {
 		// The baseline polls Stop every interval steps; here every loop
@@ -231,7 +259,17 @@ func runIndexed(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, 
 		// again).
 		land := maxSteps + 1
 		if m := ix.enabledPairs(); m > 0 {
-			if skip := rng.Geometric(float64(m) / total); skip < maxSteps-step {
+			var skip int64
+			if fm := float64(m); fm >= total {
+				skip = 0 // every draw lands; Geometric(p ≥ 1) draws nothing
+			} else {
+				if m != memoM {
+					memoM = m
+					memoLn = math.Log1p(-fm / total)
+				}
+				skip = rng.GeometricLn(memoLn)
+			}
+			if skip < maxSteps-step {
 				land = step + skip + 1
 			}
 		}

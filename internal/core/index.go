@@ -53,24 +53,55 @@ type PairIndex struct {
 // call, paid once instead of at every detection poll. The population
 // must be below maxIndexNodes.
 func NewPairIndex(cfg *Config) *PairIndex {
+	ix := &PairIndex{}
+	ix.reset(cfg)
+	return ix
+}
+
+// reset rebinds the index to cfg and rebuilds it in place by full
+// scan, reusing the backing arrays whenever they are large enough —
+// the workspace path's allocation-free fresh build. NewPairIndex
+// delegates here, so there is exactly one copy of the order-sensitive
+// construction and a reset index is bit-identical to a fresh one by
+// construction.
+func (ix *PairIndex) reset(cfg *Config) {
 	n := cfg.n
 	if n >= maxIndexNodes {
 		panic(fmt.Sprintf("core: PairIndex supports populations below %d, got %d", maxIndexNodes, n))
 	}
-	ix := &PairIndex{
-		cfg:      cfg,
-		pos:      make([]int32, pairCount(n)),
-		edgeBits: newBitset(pairCount(n)),
+	ix.cfg = cfg
+	pc := pairCount(n)
+	words := (pc + 63) / 64
+	if cap(ix.pos) < pc || cap(ix.edgeBits) < words {
+		ix.pos = make([]int32, pc)
+		ix.edgeBits = newBitset(pc)
+	} else {
+		ix.pos = ix.pos[:pc]
+		ix.edgeBits = ix.edgeBits[:words]
+		for i := range ix.edgeBits {
+			ix.edgeBits[i] = 0
+		}
 	}
 	for i := range ix.pos {
 		ix.pos[i] = -1
 	}
+	ix.list = ix.list[:0]
+	ix.edgeEnabled = 0
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			ix.refresh(u, v)
 		}
 	}
-	return ix
+}
+
+// restore overwrites the index with a previously captured start-state
+// image (see Workspace): three memcpys instead of the O(n²) rescan.
+func (ix *PairIndex) restore(cfg *Config, pos []int32, list []uint32, edgeBits bitset, edgeEnabled int) {
+	ix.cfg = cfg
+	ix.pos = append(ix.pos[:0], pos...)
+	ix.list = append(ix.list[:0], list...)
+	ix.edgeBits = append(ix.edgeBits[:0], edgeBits...)
+	ix.edgeEnabled = edgeEnabled
 }
 
 // Enabled returns the number of currently enabled pairs.

@@ -11,11 +11,22 @@ import (
 // seed).
 type RNG struct {
 	src *rand.Rand
+	pcg *rand.PCG
 }
 
 // NewRNG returns a PCG-backed source seeded deterministically.
 func NewRNG(seed uint64) *RNG {
-	return &RNG{src: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+	pcg := rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)
+	return &RNG{src: rand.New(pcg), pcg: pcg}
+}
+
+// Reseed resets the source to the exact state NewRNG(seed) would
+// produce, without allocating — the workspace path's per-run
+// reinitialization. A reseeded RNG emits the same stream as a fresh
+// one, which is what makes workspace-reused runs bit-identical to
+// fresh-allocation runs.
+func (r *RNG) Reseed(seed uint64) {
+	r.pcg.Seed(seed, seed^0x9e3779b97f4a7c15)
 }
 
 // IntN returns a uniform integer in [0, n).
@@ -44,17 +55,27 @@ func (r *RNG) Geometric(p float64) int64 {
 	if p >= 1 {
 		return 0
 	}
-	const clamp = int64(1) << 62
 	if p <= 0 {
-		return clamp
+		return geometricClamp
 	}
+	return r.GeometricLn(math.Log1p(-p))
+}
+
+const geometricClamp = int64(1) << 62
+
+// GeometricLn is Geometric with the logarithm ln(1−p) precomputed by
+// the caller, for p ∈ (0, 1): same variate, same single uniform draw.
+// The indexed engines memoize the logarithm keyed by the enabled-pair
+// count m — which repeats heavily between effective steps — saving one
+// of the two math.Log calls per landing.
+func (r *RNG) GeometricLn(ln1mp float64) int64 {
 	u := 1 - r.src.Float64() // (0, 1]: avoids ln(0)
-	k := math.Floor(math.Log(u) / math.Log1p(-p))
+	k := math.Floor(math.Log(u) / ln1mp)
 	if k < 0 {
 		return 0
 	}
-	if k >= float64(clamp) {
-		return clamp
+	if k >= float64(geometricClamp) {
+		return geometricClamp
 	}
 	return int64(k)
 }

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestReseedMatchesFresh pins the workspace RNG contract: a reseeded
+// source emits exactly the stream a fresh NewRNG(seed) would.
+func TestReseedMatchesFresh(t *testing.T) {
+	t.Parallel()
+	reused := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		reused.Float64() // wander off seed 1's stream
+	}
+	for _, seed := range []uint64{0, 1, 7, 1 << 40} {
+		fresh := NewRNG(seed)
+		reused.Reseed(seed)
+		for i := 0; i < 64; i++ {
+			if f, r := fresh.src.Uint64(), reused.src.Uint64(); f != r {
+				t.Fatalf("seed %d, draw %d: fresh %d vs reseeded %d", seed, i, f, r)
+			}
+		}
+	}
+}
+
+// TestGeometricLnMatchesGeometric pins the memoized-logarithm skip
+// draw to the original: same p, same seed, same variates, same
+// randomness consumption.
+func TestGeometricLnMatchesGeometric(t *testing.T) {
+	t.Parallel()
+	for _, p := range []float64{1e-9, 0.01, 0.5, 0.999} {
+		a, b := NewRNG(3), NewRNG(3)
+		ln := math.Log1p(-p)
+		for i := 0; i < 200; i++ {
+			if ga, gb := a.Geometric(p), b.GeometricLn(ln); ga != gb {
+				t.Fatalf("p=%g draw %d: Geometric %d vs GeometricLn %d", p, i, ga, gb)
+			}
+		}
+	}
+}

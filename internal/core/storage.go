@@ -33,6 +33,14 @@ type edgeStore interface {
 	forEach(fn func(u, v int))
 	// clone returns a deep copy.
 	clone() edgeStore
+	// reset deactivates every edge in place, retaining the backing
+	// memory — the workspace path's allocation-free NewConfig.
+	reset()
+	// copyFrom replaces the edge set with src's, reusing the backing
+	// memory. The receiver and src are always the same kind and
+	// population (the kind is a pure function of n, which callers match
+	// before copying); src may alias the receiver.
+	copyFrom(src edgeStore)
 	// appendFingerprint writes a canonical encoding of the edge set.
 	// Encodings are canonical per storage kind (a Config's kind is
 	// fixed by n at construction, so fingerprints of same-n configs
@@ -103,6 +111,16 @@ func (s *denseStore) forEach(fn func(u, v int)) {
 
 func (s *denseStore) clone() edgeStore {
 	return &denseStore{n: s.n, bits: s.bits.clone()}
+}
+
+func (s *denseStore) reset() {
+	for i := range s.bits {
+		s.bits[i] = 0
+	}
+}
+
+func (s *denseStore) copyFrom(src edgeStore) {
+	copy(s.bits, src.(*denseStore).bits)
 }
 
 func (s *denseStore) appendFingerprint(sb *strings.Builder) {
@@ -182,6 +200,18 @@ func (s *sparseStore) clone() edgeStore {
 		}
 	}
 	return c
+}
+
+func (s *sparseStore) reset() {
+	for u := range s.adj {
+		s.adj[u] = s.adj[u][:0]
+	}
+}
+
+func (s *sparseStore) copyFrom(src edgeStore) {
+	for u, row := range src.(*sparseStore).adj {
+		s.adj[u] = append(s.adj[u][:0], row...)
+	}
 }
 
 func (s *sparseStore) appendFingerprint(sb *strings.Builder) {
