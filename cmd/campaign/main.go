@@ -11,6 +11,7 @@
 //	campaign -name cycle-cover -sizes 32,64,128 -trials 20 -seed 1
 //	campaign -name One-Way-Epidemic -kind process -sizes 64,128
 //	campaign -name simple-global-line -sizes 24 -faults "crash@576,crash@1152" -metric largest-component
+//	campaign -name global-star -sizes 256 -trials 200 -progress 2s -progress-out progress.ndjson
 //	campaign -list
 //
 // Aggregates are bit-identical for a fixed spec regardless of -workers.
@@ -18,11 +19,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -62,10 +66,33 @@ func run() error {
 		out      = flag.String("out", "", "aggregate output path (default stdout)")
 		runsOut  = flag.String("runs-out", "", "also write raw per-run records to this path")
 		format   = flag.String("format", "json", "output format: json or csv")
-		progress = flag.Bool("progress", false, "log each completed run to stderr")
+		progress = flag.Duration("progress", 0, "stream progress records (done/total, trials/s, utilization, ETA) to stderr at this interval, e.g. 2s (0 = off)")
+		progOut  = flag.String("progress-out", "", "also append progress records as NDJSON to this file (implies a 1s interval if -progress is unset)")
+		verbose  = flag.Bool("verbose", false, "log each completed run to stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		list     = flag.Bool("list", false, "list known protocols and processes, then exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			if err := writeHeapProfile(*memProf); err != nil {
+				fmt.Fprintln(os.Stderr, "campaign:", err)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Println("protocols (kind \"protocol\"):")
@@ -105,7 +132,7 @@ func run() error {
 	for _, pt := range points {
 		total += pt.Trials
 	}
-	if *progress {
+	if *verbose {
 		done := 0
 		opts.OnRun = func(rec campaign.RunRecord) {
 			done++
@@ -123,14 +150,37 @@ func run() error {
 				status, rec.Value, time.Duration(rec.DurationNS))
 		}
 	}
+	if *progress > 0 || *progOut != "" {
+		var enc *json.Encoder
+		if *progOut != "" {
+			f, err := os.Create(*progOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			enc = json.NewEncoder(f)
+		}
+		toStderr := *progress > 0
+		opts.ProgressInterval = *progress
+		opts.OnProgress = func(p campaign.Progress) {
+			// Callbacks are serialized: periodic records come from the
+			// pool's ticker goroutine, and the final record only after
+			// that goroutine has stopped.
+			if toStderr || p.Final {
+				fmt.Fprintln(os.Stderr, formatProgress(p))
+			}
+			if enc != nil {
+				if err := enc.Encode(p); err != nil {
+					fmt.Fprintln(os.Stderr, "campaign: progress-out:", err)
+					enc = nil
+				}
+			}
+		}
+	}
 
 	result, err := campaign.Execute(ctx, points, opts)
 	if err != nil {
 		return err
-	}
-	if *progress {
-		fmt.Fprintf(os.Stderr, "campaign: %d runs over %d points on %d workers in %s\n",
-			total, len(points), result.Workers, result.Elapsed.Round(time.Millisecond))
 	}
 
 	if err := writeOutput(*out, *format, result.Aggregates, nil); err != nil {
@@ -199,6 +249,33 @@ func loadSpec(specPath, name, kind, sizes string, trials int, seed uint64, sched
 		IncludeUnconverged: inclUnc,
 		MaxSteps:           maxSteps,
 	}, nil
+}
+
+// formatProgress renders one Progress record as a stderr status line.
+func formatProgress(p campaign.Progress) string {
+	elapsed := time.Duration(p.ElapsedNS).Round(time.Millisecond)
+	if p.Final {
+		return fmt.Sprintf("campaign: %d/%d trials on %d workers in %s (%.1f trials/s, %.0f%% utilization)",
+			p.Done, p.Total, p.Workers, elapsed, p.TrialsPerSec, p.Utilization*100)
+	}
+	eta := "?"
+	if p.ETANS > 0 {
+		eta = time.Duration(p.ETANS).Round(time.Second).String()
+	}
+	return fmt.Sprintf("progress: %d/%d trials, %.1f trials/s, %.0f%% utilization, ETA %s",
+		p.Done, p.Total, p.TrialsPerSec, p.Utilization*100, eta)
+}
+
+// writeHeapProfile snapshots the live heap after a final GC, the shape
+// pprof's allocation views expect.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }
 
 func parseSizes(s string) ([]int, error) {

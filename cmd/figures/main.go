@@ -69,11 +69,11 @@ func run() error {
 func fig1(n int, seed uint64, out string, engine core.Engine) error {
 	c := protocols.GlobalStar()
 	rec := trace.NewRecorder(256)
-	res, err := core.Run(c.Proto, n, core.Options{Seed: seed, Engine: engine, Detector: c.Detector, Observer: rec})
-	if err != nil {
+	// The recorder rides the event stream: the run-end event records the
+	// terminal configuration, so no explicit Final call is needed.
+	if _, err := core.Run(c.Proto, n, core.Options{Seed: seed, Engine: engine, Detector: c.Detector, Events: rec}); err != nil {
 		return err
 	}
-	rec.Final(res.Steps, res.Final)
 	shots := rec.Select([]float64{0, 0.5, 1})
 	names := []string{"fig1a_initial", "fig1b_intermediate", "fig1c_stable"}
 	for i, s := range shots {
@@ -89,11 +89,9 @@ func fig1(n int, seed uint64, out string, engine core.Engine) error {
 func fig2(n int, seed uint64, out string, engine core.Engine) error {
 	c := protocols.SimpleGlobalLine()
 	rec := trace.NewRecorder(256)
-	res, err := core.Run(c.Proto, n, core.Options{Seed: seed, Engine: engine, Detector: c.Detector, Observer: rec})
-	if err != nil {
+	if _, err := core.Run(c.Proto, n, core.Options{Seed: seed, Engine: engine, Detector: c.Detector, Events: rec}); err != nil {
 		return err
 	}
-	rec.Final(res.Steps, res.Final)
 	shots := rec.Select([]float64{0.4})
 	return writeFile(out, "fig2.dot", shots[0].DOT("fig2"))
 }

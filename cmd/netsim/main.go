@@ -8,6 +8,7 @@
 //
 //	netsim -protocol global-star -n 50 -trials 5 -seed 1 [-workers 4] [-engine fast] [-dot]
 //	netsim -protocol simple-global-line -n 32 -faults "crash@500x2,edge@0.001"
+//	netsim -protocol simple-global-line -n 32 -trace run.ndjson
 //	netsim -protocol cycle-cover -n 32 -scheduler weighted
 //	netsim -list
 package main
@@ -17,11 +18,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/protocols"
 	"repro/internal/scenario"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -43,10 +47,32 @@ func run() error {
 		faults   = flag.String("faults", "", `fault plan, e.g. "crash@500x2,edge@0.001,reset@1000"`)
 		detector = flag.String("detector", "", "stability predicate: target (default), quiescence, or edge-quiescence; fault runs default to quiescence")
 		dot      = flag.Bool("dot", false, "print the final network as Graphviz DOT")
+		tracePth = flag.String("trace", "", "write an NDJSON event trace of a replayed trial to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		freshAlc = flag.Bool("fresh-alloc", false, "disable per-worker run workspaces (every trial allocates fresh state; results are identical, only slower)")
 		list     = flag.Bool("list", false, "list registered protocols and exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			if err := writeHeapProfile(*memProf); err != nil {
+				fmt.Fprintln(os.Stderr, "netsim:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, name := range protocols.Names() {
@@ -95,7 +121,7 @@ func run() error {
 		fmt.Printf("fault plan: %s\n", plan)
 	}
 
-	var lastConvergedSeed uint64
+	var lastConvergedSeed, firstSeed uint64
 	haveConverged := false
 	out, err := campaign.Execute(context.Background(), []campaign.Point{{
 		Protocol:     c.Proto.Name(),
@@ -113,6 +139,9 @@ func run() error {
 		Workers:    *workers,
 		FreshAlloc: *freshAlc,
 		OnRun: func(rec campaign.RunRecord) {
+			if rec.Trial == 0 {
+				firstSeed = rec.Seed
+			}
 			if !rec.Converged {
 				fmt.Printf("  trial %d: DID NOT CONVERGE within %d steps\n", rec.Trial, rec.Steps)
 				return
@@ -135,12 +164,17 @@ func run() error {
 		fmt.Printf("mean convergence time: %.0f ± %.0f steps (min %.0f, max %.0f)\n",
 			agg.Mean, agg.StdErr, agg.Min, agg.Max)
 	}
-	if *dot && haveConverged {
-		// Replay the last converged trial sequentially — runs are
-		// deterministic in (protocol, n, seed, scheduler, faults,
-		// engine), so this recovers the exact final configuration the
-		// campaign measured.
-		opts := core.Options{Seed: lastConvergedSeed, Engine: eng, Detector: det}
+	if *tracePth != "" || (*dot && haveConverged) {
+		// Replay one trial sequentially — runs are deterministic in
+		// (protocol, n, seed, scheduler, faults, engine), so this
+		// recovers the exact run the campaign measured: the last
+		// converged trial when there is one, the first trial otherwise
+		// (a trace of a non-converging run is still worth inspecting).
+		replaySeed := firstSeed
+		if haveConverged {
+			replaySeed = lastConvergedSeed
+		}
+		opts := core.Options{Seed: replaySeed, Engine: eng, Detector: det}
 		proto := c.Proto
 		if factory != nil {
 			opts.Scheduler = factory()
@@ -151,18 +185,51 @@ func run() error {
 				return err
 			}
 			proto = prepared.Proto
-			opts.Injector = prepared.NewInjection(lastConvergedSeed)
+			opts.Injector = prepared.NewInjection(replaySeed)
+		}
+		var traceFile *os.File
+		if *tracePth != "" {
+			f, err := os.Create(*tracePth)
+			if err != nil {
+				return err
+			}
+			traceFile = f
+			opts.Events = trace.NewNDJSON(f)
 		}
 		res, err := core.Run(proto, *n, opts)
 		if err != nil {
 			return err
 		}
-		g := protocols.ActiveGraph(res.Final)
-		labels := make([]string, res.Final.N())
-		for u := 0; u < res.Final.N(); u++ {
-			labels[u] = proto.StateName(res.Final.Node(u))
+		if traceFile != nil {
+			nd := opts.Events.(*trace.NDJSON)
+			if err := nd.Flush(); err != nil {
+				return err
+			}
+			if err := traceFile.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("event trace of seed-%d replay written to %s\n", replaySeed, *tracePth)
 		}
-		fmt.Println(g.DOT(proto.Name(), labels))
+		if *dot && haveConverged {
+			g := protocols.ActiveGraph(res.Final)
+			labels := make([]string, res.Final.N())
+			for u := 0; u < res.Final.N(); u++ {
+				labels[u] = proto.StateName(res.Final.Node(u))
+			}
+			fmt.Println(g.DOT(proto.Name(), labels))
+		}
 	}
 	return nil
+}
+
+// writeHeapProfile snapshots the live heap after a final GC, the shape
+// pprof's allocation views expect.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }

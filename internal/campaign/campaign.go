@@ -28,6 +28,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -238,6 +239,15 @@ type RunRecord struct {
 	FaultCrashes       int64  `json:"fault_crashes,omitempty"`
 	FaultEdgeDeletions int64  `json:"fault_edge_deletions,omitempty"`
 	FaultResets        int64  `json:"fault_resets,omitempty"`
+	// Engine telemetry from core.Result.Metrics. Only the
+	// mode-invariant counters appear here — fields like wall time or
+	// workspace resets would differ between allocation modes and break
+	// the record-level determinism contract (fresh and workspace runs
+	// produce identical records up to DurationNS).
+	SkippedSteps     int64 `json:"skipped_steps,omitempty"`
+	SkipBatches      int64 `json:"skip_batches,omitempty"`
+	SampleRejections int64 `json:"sample_rejections,omitempty"`
+	SampleFallbacks  int64 `json:"sample_fallbacks,omitempty"`
 	// DurationNS is wall-clock and therefore the one nondeterministic
 	// field of a record.
 	DurationNS int64  `json:"duration_ns"`
@@ -265,6 +275,15 @@ type Aggregate struct {
 	// Faults labels the point's fault plan in flag syntax ("" without
 	// one), so fault sweeps stay distinguishable in exported series.
 	Faults string `json:"faults,omitempty"`
+	// Deterministic integer totals over this point's non-error runs
+	// (converged or not): scheduler steps, effective steps, geometric
+	// skips, and faults applied. Integer sums are order-independent, so
+	// these stay bit-identical regardless of Workers, exactly like the
+	// metric statistics above.
+	TotalSteps          int64 `json:"total_steps,omitempty"`
+	TotalEffectiveSteps int64 `json:"total_effective_steps,omitempty"`
+	TotalSkippedSteps   int64 `json:"total_skipped_steps,omitempty"`
+	FaultsApplied       int64 `json:"faults_applied,omitempty"`
 }
 
 // Options configures campaign execution.
@@ -291,6 +310,56 @@ type Options struct {
 	// workspace win (BenchmarkCampaignThroughput) and to simplify
 	// allocation debugging.
 	FreshAlloc bool
+	// OnProgress, when non-nil, receives periodic Progress records while
+	// the campaign runs — every ProgressInterval from a dedicated
+	// goroutine (so it must be safe to call concurrently with OnRun),
+	// plus one Final record from Execute's goroutine after the last run
+	// completes. With OnProgress nil the worker pool maintains no
+	// progress counters at all.
+	OnProgress func(Progress)
+	// ProgressInterval is the period of OnProgress records; ≤ 0 means
+	// one second.
+	ProgressInterval time.Duration
+}
+
+// Progress is a point-in-time view of a running campaign, streamed to
+// Options.OnProgress (and, through cmd/campaign's -progress flags, to
+// stderr or an NDJSON file).
+type Progress struct {
+	// Done of Total trials have completed.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// ElapsedNS is the campaign wall-clock time so far.
+	ElapsedNS int64 `json:"elapsed_ns"`
+	// TrialsPerSec is the overall completion rate since the campaign
+	// started.
+	TrialsPerSec float64 `json:"trials_per_sec"`
+	// ETANS estimates the remaining wall-clock time from the overall
+	// rate; 0 when no trial has finished yet or the campaign is done.
+	ETANS int64 `json:"eta_ns,omitempty"`
+	// Workers is the pool size; Utilization the fraction of the pool's
+	// wall-clock capacity spent inside runs (busy time divided by
+	// elapsed × workers).
+	Workers     int     `json:"workers"`
+	Utilization float64 `json:"utilization"`
+	// Final marks the one record emitted after the last run completes.
+	Final bool `json:"final,omitempty"`
+}
+
+// progressSnapshot assembles a Progress record from the pool's atomic
+// counters.
+func progressSnapshot(start time.Time, total, workers int, done, busy *atomic.Int64, final bool) Progress {
+	d := int(done.Load())
+	elapsed := time.Since(start).Nanoseconds()
+	p := Progress{Done: d, Total: total, ElapsedNS: elapsed, Workers: workers, Final: final}
+	if elapsed > 0 {
+		p.TrialsPerSec = float64(d) * 1e9 / float64(elapsed)
+		p.Utilization = float64(busy.Load()) / (float64(elapsed) * float64(workers))
+	}
+	if d > 0 && d < total && p.TrialsPerSec > 0 {
+		p.ETANS = int64(float64(total-d) / p.TrialsPerSec * 1e9)
+	}
+	return p
 }
 
 // Outcome is the result of executing a campaign.
@@ -344,6 +413,34 @@ func Execute(ctx context.Context, points []Point, opts Options) (Outcome, error)
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// Progress counters are maintained only when someone is listening;
+	// the periodic reporter runs on its own goroutine so a slow
+	// OnProgress callback never stalls the pool.
+	progressOn := opts.OnProgress != nil
+	var doneTrials, busyNS atomic.Int64
+	var progressWG sync.WaitGroup
+	progressQuit := make(chan struct{})
+	if progressOn {
+		interval := opts.ProgressInterval
+		if interval <= 0 {
+			interval = time.Second
+		}
+		progressWG.Add(1)
+		go func() {
+			defer progressWG.Done()
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					opts.OnProgress(progressSnapshot(start, total, workers, &doneTrials, &busyNS, false))
+				case <-progressQuit:
+					return
+				}
+			}
+		}()
+	}
+
 	jobs := make(chan int, workers)
 	results := make(chan taggedRecord, workers)
 	var wg sync.WaitGroup
@@ -367,7 +464,12 @@ func Execute(ctx context.Context, points []Point, opts Options) (Outcome, error)
 					continue // drain without running
 				}
 				p, t := locate(offsets, points, gid)
-				results <- taggedRecord{gid: gid, rec: runTrial(runCtx, &points[p], p, t, opts.Timeout, ws)}
+				tr := taggedRecord{gid: gid, rec: runTrial(runCtx, &points[p], p, t, opts.Timeout, ws)}
+				if progressOn {
+					doneTrials.Add(1)
+					busyNS.Add(tr.rec.DurationNS)
+				}
+				results <- tr
 			}
 		}()
 	}
@@ -420,6 +522,12 @@ func Execute(ctx context.Context, points []Point, opts Options) (Outcome, error)
 			delete(pending, next)
 			next++
 			agg := &out.Aggregates[rec.Point]
+			if rec.Err == "" {
+				agg.TotalSteps += rec.Steps
+				agg.TotalEffectiveSteps += rec.EffectiveSteps
+				agg.TotalSkippedSteps += rec.SkippedSteps
+				agg.FaultsApplied += rec.FaultCrashes + rec.FaultEdgeDeletions + rec.FaultResets
+			}
 			switch {
 			case rec.Err != "":
 				agg.Failures++
@@ -455,6 +563,12 @@ func Execute(ctx context.Context, points []Point, opts Options) (Outcome, error)
 		agg.Max = o.Max()
 	}
 	out.Elapsed = time.Since(start)
+
+	if progressOn {
+		close(progressQuit)
+		progressWG.Wait()
+		opts.OnProgress(progressSnapshot(start, total, workers, &doneTrials, &busyNS, true))
+	}
 
 	if err := ctx.Err(); err != nil {
 		return out, err
@@ -614,6 +728,10 @@ func runTrial(ctx context.Context, pt *Point, pointIdx, trial int, timeout time.
 	rec.ConvergenceTime = res.ConvergenceTime
 	rec.EffectiveSteps = res.EffectiveSteps
 	rec.EdgeChanges = res.EdgeChanges
+	rec.SkippedSteps = res.Metrics.SkippedSteps
+	rec.SkipBatches = res.Metrics.SkipBatches
+	rec.SampleRejections = res.Metrics.SampleRejections
+	rec.SampleFallbacks = res.Metrics.SampleFallbacks
 	metric := pt.Metric
 	if metric == nil {
 		metric = MetricConvergenceTime

@@ -22,7 +22,8 @@ func WriteAggregatesCSV(w io.Writer, aggs []Aggregate) error {
 	if err := cw.Write([]string{
 		"protocol", "n", "scheduler", "faults", "trials", "converged",
 		"failures", "stopped", "mean", "stderr", "stddev", "min", "max",
-		"expected",
+		"expected", "total_steps", "total_effective_steps",
+		"total_skipped_steps", "faults_applied",
 	}); err != nil {
 		return err
 	}
@@ -42,6 +43,10 @@ func WriteAggregatesCSV(w io.Writer, aggs []Aggregate) error {
 			formatFloat(a.Min),
 			formatFloat(a.Max),
 			formatFloat(a.Expected),
+			strconv.FormatInt(a.TotalSteps, 10),
+			strconv.FormatInt(a.TotalEffectiveSteps, 10),
+			strconv.FormatInt(a.TotalSkippedSteps, 10),
+			strconv.FormatInt(a.FaultsApplied, 10),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -64,7 +69,8 @@ func WriteRunsCSV(w io.Writer, runs []RunRecord) error {
 	if err := cw.Write([]string{
 		"point", "protocol", "n", "scheduler", "faults", "trial", "seed",
 		"engine", "converged", "stopped", "steps", "convergence_time",
-		"effective_steps", "edge_changes", "fault_crashes",
+		"effective_steps", "edge_changes", "skipped_steps", "skip_batches",
+		"sample_rejections", "sample_fallbacks", "fault_crashes",
 		"fault_edge_deletions", "fault_resets", "value", "duration_ns",
 		"err",
 	}); err != nil {
@@ -86,6 +92,10 @@ func WriteRunsCSV(w io.Writer, runs []RunRecord) error {
 			strconv.FormatInt(r.ConvergenceTime, 10),
 			strconv.FormatInt(r.EffectiveSteps, 10),
 			strconv.FormatInt(r.EdgeChanges, 10),
+			strconv.FormatInt(r.SkippedSteps, 10),
+			strconv.FormatInt(r.SkipBatches, 10),
+			strconv.FormatInt(r.SampleRejections, 10),
+			strconv.FormatInt(r.SampleFallbacks, 10),
 			strconv.FormatInt(r.FaultCrashes, 10),
 			strconv.FormatInt(r.FaultEdgeDeletions, 10),
 			strconv.FormatInt(r.FaultResets, 10),

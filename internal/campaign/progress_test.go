@@ -1,0 +1,103 @@
+package campaign
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestProgressStreaming checks the OnProgress contract: periodic
+// records plus exactly one final record, monotone non-decreasing done
+// counts, and a final record that reflects the whole campaign.
+func TestProgressStreaming(t *testing.T) {
+	t.Parallel()
+	points := testPoints(t, 6)
+	total := 0
+	for _, pt := range points {
+		total += pt.Trials
+	}
+	var mu sync.Mutex
+	var records []Progress
+	out, err := Execute(context.Background(), points, Options{
+		Workers:          2,
+		ProgressInterval: time.Millisecond,
+		OnProgress: func(p Progress) {
+			mu.Lock()
+			records = append(records, p)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(records) == 0 {
+		t.Fatal("no progress records")
+	}
+	finals := 0
+	prev := 0
+	for i, p := range records {
+		if p.Total != total {
+			t.Fatalf("record %d: total %d, want %d", i, p.Total, total)
+		}
+		if p.Done < prev {
+			t.Fatalf("record %d: done went backwards (%d after %d)", i, p.Done, prev)
+		}
+		prev = p.Done
+		if p.Workers != out.Workers {
+			t.Fatalf("record %d: workers %d, want %d", i, p.Workers, out.Workers)
+		}
+		if p.Utilization < 0 {
+			t.Fatalf("record %d: negative utilization %f", i, p.Utilization)
+		}
+		if p.Final {
+			finals++
+			if i != len(records)-1 {
+				t.Fatalf("final record at index %d of %d", i, len(records))
+			}
+		}
+	}
+	if finals != 1 {
+		t.Fatalf("%d final records, want exactly 1", finals)
+	}
+	last := records[len(records)-1]
+	if last.Done != total {
+		t.Fatalf("final record reports %d/%d trials done", last.Done, total)
+	}
+	if last.ElapsedNS <= 0 || last.TrialsPerSec <= 0 {
+		t.Fatalf("final record has empty rate fields: %+v", last)
+	}
+	if last.ETANS != 0 {
+		t.Fatalf("final record carries an ETA: %+v", last)
+	}
+}
+
+// TestProgressDoesNotChangeResults pins that enabling progress
+// streaming leaves the campaign outcome bit-identical: the counters it
+// maintains are observational only.
+func TestProgressDoesNotChangeResults(t *testing.T) {
+	t.Parallel()
+	bare, err := Execute(context.Background(), testPoints(t, 5), Options{Workers: 2, KeepRuns: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := Execute(context.Background(), testPoints(t, 5), Options{
+		Workers:          2,
+		KeepRuns:         true,
+		ProgressInterval: time.Millisecond,
+		OnProgress:       func(Progress) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bare.Aggregates, streamed.Aggregates) {
+		t.Fatalf("aggregates diverge with progress streaming on:\nbare     %+v\nstreamed %+v",
+			bare.Aggregates, streamed.Aggregates)
+	}
+	if !reflect.DeepEqual(stripDurations(bare.Runs), stripDurations(streamed.Runs)) {
+		t.Fatal("run records diverge with progress streaming on")
+	}
+}

@@ -65,6 +65,13 @@ type ClassIndex struct {
 	edgeEnabled int64
 
 	nbuf []int // neighbor scratch for Update
+
+	// Sampling-effort telemetry, zeroed per reset (i.e. per run):
+	// rejections counts candidate draws sampleNonEdge discarded for
+	// hitting an active edge; fallbacks counts the exact counted walks
+	// taken when active edges saturated a class.
+	rejections int64
+	fallbacks  int64
 }
 
 // NewClassIndex builds the index for the configuration's current state
@@ -115,6 +122,7 @@ func (ci *ClassIndex) reset(cfg *Config) {
 	}
 	clear(ci.edgeSlot)
 	ci.enabled, ci.edgeEnabled = 0, 0
+	ci.rejections, ci.fallbacks = 0, 0
 
 	for u, s := range cfg.nodes {
 		ci.slot[u] = int32(len(ci.byState[s]))
@@ -405,8 +413,10 @@ func (ci *ClassIndex) sampleNonEdge(a, b int, rng *RNG) (int, int) {
 		if !cfg.store.get(u, v) {
 			return orient(u, v, rng)
 		}
+		ci.rejections++
 	}
 	// Exact fallback: pick the t-th non-edge of the class.
+	ci.fallbacks++
 	id := a*ci.q + b
 	var pairs int64
 	if a == b {
@@ -467,3 +477,5 @@ func (ci *ClassIndex) applied(u, v int, beforeU, beforeV State, edgeChanged bool
 
 func (ci *ClassIndex) nodeChanged(u int, before State) { ci.NodeChanged(u, before) }
 func (ci *ClassIndex) edgeChanged(u, v int)            { ci.EdgeChanged(u, v) }
+
+func (ci *ClassIndex) sampleStats() (int64, int64) { return ci.rejections, ci.fallbacks }

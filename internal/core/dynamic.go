@@ -1,6 +1,9 @@
 package core
 
-import "errors"
+import (
+	"errors"
+	"time"
+)
 
 // DynState is a node state of a dynamic protocol. Dynamic protocols
 // back the Section 6 constructions, whose composite states (TM head ×
@@ -123,7 +126,11 @@ type DynResult struct {
 	// Result.ConvergenceTime.
 	ConvergenceTime int64
 	EffectiveSteps  int64
-	Final           *DynConfig
+	// WallNS is the run's wall-clock time in nanoseconds — the dynamic
+	// runner's share of the Result.Metrics telemetry (it has no index,
+	// skips, or faults, so wall time is the only meaningful counter).
+	WallNS int64
+	Final  *DynConfig
 }
 
 // DynOptions configures a dynamic run.
@@ -149,7 +156,9 @@ type DynOptions struct {
 
 // RunDyn executes a dynamic protocol under the uniform random
 // scheduler until Stable fires or the budget is exhausted.
-func RunDyn(p *DynProtocol, n int, opts DynOptions) (DynResult, error) {
+func RunDyn(p *DynProtocol, n int, opts DynOptions) (res DynResult, err error) {
+	start := time.Now()
+	defer func() { res.WallNS = time.Since(start).Nanoseconds() }()
 	if n < 1 {
 		return DynResult{}, errors.New("core: population size must be ≥ 1")
 	}
@@ -171,7 +180,7 @@ func RunDyn(p *DynProtocol, n int, opts DynOptions) (DynResult, error) {
 		interval = DefaultCheckInterval(n)
 	}
 	rng := NewRNG(opts.Seed)
-	res := DynResult{Final: cfg}
+	res = DynResult{Final: cfg}
 	if n == 1 || opts.Stable(cfg) {
 		res.Converged = opts.Stable(cfg)
 		return res, nil

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Trigger selects when a detector's Stable predicate is evaluated.
@@ -113,6 +114,13 @@ type Options struct {
 	Initial *Config
 	// Observer, when non-nil, receives every effective step.
 	Observer Observer
+	// Events, when non-nil, receives the run's structured event stream
+	// (see EventSink): run start/end, effective steps with before/after
+	// states, geometric-skip batches, fault firings and writes, and
+	// detector verdicts. Attaching a sink never changes the run's
+	// results; with no sink the engines pay a nil check and nothing
+	// else.
+	Events EventSink
 	// Stop, when non-nil, is polled once immediately and then
 	// periodically (every CheckInterval steps on the baseline engine,
 	// every landing on the fast engine); when it returns true the run
@@ -167,6 +175,11 @@ type Result struct {
 	// Engine records the execution path that produced this result
 	// (never EngineAuto).
 	Engine Engine
+	// Metrics is the run's engine telemetry: wall time plus the
+	// landing/skip/detector/sampling/fault counters. Every field except
+	// WallNS (and the workspace-dependent setup counters) is
+	// deterministic in the run parameters.
+	Metrics Metrics
 	// Final is the final configuration. Runs with Options.Workspace set
 	// borrow it from the workspace: it is valid until the workspace's
 	// next run begins, so callers retaining it longer (or mutating it)
@@ -236,6 +249,7 @@ func DefaultCheckInterval(n int) int64 {
 // stability or the step budget is exhausted, dispatching to the
 // execution path selected by Options.Engine.
 func Run(p *Protocol, n int, opts Options) (Result, error) {
+	start := time.Now()
 	if n < 1 {
 		return Result{}, errors.New("core: population size must be ≥ 1")
 	}
@@ -246,6 +260,10 @@ func Run(p *Protocol, n int, opts Options) (Result, error) {
 		if opts.Initial.N() != n {
 			return Result{}, fmt.Errorf("core: initial configuration has %d nodes, want %d", opts.Initial.N(), n)
 		}
+	}
+	var wsResets int64
+	if opts.Workspace != nil {
+		wsResets = opts.Workspace.resets
 	}
 	var cfg *Config
 	switch {
@@ -306,29 +324,55 @@ func Run(p *Protocol, n int, opts Options) (Result, error) {
 		rng = NewRNG(opts.Seed)
 	}
 
-	if n == 1 {
-		// No pairs exist to ever interact.
-		return Result{Final: cfg, Engine: engine, Converged: det.Stable(cfg)}, nil
+	// The run envelope: one EventRunStart before the first draw (Cfg is
+	// the initial configuration), one EventRunEnd after the last (Cfg is
+	// the final one). ev is the scratch record reused for both.
+	var ev *Event
+	if opts.Events != nil {
+		ev = &Event{Kind: EventRunStart, Protocol: p.Name(), N: n,
+			Seed: opts.Seed, Engine: engine, MaxSteps: maxSteps, Cfg: cfg}
+		opts.Events.Event(ev)
 	}
 
-	switch engine {
-	case EngineFast:
-		return runFast(p, cfg, det, opts, maxSteps, interval, rng)
-	case EngineSparse:
-		return runSparse(p, cfg, det, opts, maxSteps, interval, rng)
+	var res Result
+	var err error
+	if n == 1 {
+		// No pairs exist to ever interact.
+		res = Result{Final: cfg, Engine: engine, Converged: det.Stable(cfg)}
+		res.Metrics.DetectorChecks = 1
+		emitDetect(opts.Events, ev, 0, res.Converged, cfg)
+	} else {
+		switch engine {
+		case EngineFast:
+			res, err = runFast(p, cfg, det, opts, maxSteps, interval, rng)
+		case EngineSparse:
+			res, err = runSparse(p, cfg, det, opts, maxSteps, interval, rng)
+		default:
+			res, err = runBaseline(p, cfg, det, opts, sched, maxSteps, interval, rng)
+		}
+		if err != nil {
+			return res, err
+		}
 	}
-	if det.Stable(cfg) {
-		// Already stable before any step. The indexed paths perform
-		// this check themselves, through their O(1) gates.
-		return Result{Final: cfg, Engine: engine, Converged: true}, nil
+	if opts.Workspace != nil {
+		res.Metrics.WorkspaceResets = opts.Workspace.resets - wsResets
 	}
-	return runBaseline(p, cfg, det, opts, sched, maxSteps, interval, rng)
+	res.Metrics.WallNS = time.Since(start).Nanoseconds()
+	if opts.Events != nil {
+		*ev = Event{Kind: EventRunEnd, Step: res.Steps, Converged: res.Converged,
+			EffectiveSteps: res.EffectiveSteps, EdgeChanges: res.EdgeChanges,
+			ConvergenceTime: res.ConvergenceTime, Protocol: p.Name(), N: n,
+			Seed: opts.Seed, Engine: engine, MaxSteps: maxSteps, Cfg: res.Final}
+		opts.Events.Event(ev)
+	}
+	return res, nil
 }
 
 // recordEffective folds one effective step into the run metrics and
-// notifies the observer. runBaseline and runFast share it so the
-// output-change rule cannot drift between the engines.
-func recordEffective(res *Result, p *Protocol, cfg *Config, obs Observer, step int64, u, v int, beforeU, beforeV State, edgeChanged bool) {
+// notifies the observer and event sink. runBaseline and runIndexed
+// share it so neither the output-change rule nor the step-event payload
+// can drift between the engines.
+func recordEffective(res *Result, p *Protocol, cfg *Config, obs Observer, events EventSink, ev *Event, step int64, u, v int, beforeU, beforeV State, edgeChanged bool) {
 	res.EffectiveSteps++
 	// The output graph changes when an edge between two output nodes
 	// changes, or when a node enters or leaves Qout.
@@ -346,13 +390,54 @@ func recordEffective(res *Result, p *Protocol, cfg *Config, obs Observer, step i
 	if obs != nil {
 		obs.ObserveStep(step, u, v, edgeChanged, cfg)
 	}
+	if events != nil {
+		edge := false
+		if edgeChanged {
+			edge = cfg.Edge(u, v)
+		}
+		*ev = Event{Kind: EventStep, Step: step, U: u, V: v,
+			BeforeU: beforeU, BeforeV: beforeV,
+			AfterU: cfg.Node(u), AfterV: cfg.Node(v),
+			EdgeChanged: edgeChanged, Edge: edge, Cfg: cfg}
+		events.Event(ev)
+	}
 }
 
 // runBaseline simulates every scheduler draw individually. It is the
 // reference implementation the fast engine is measured against, and
-// the only path that supports non-uniform schedulers.
+// the only path that supports non-uniform schedulers. It wraps
+// baselineLoop to fold the mutator's fault tallies and the
+// Landings = Steps identity (every baseline draw is simulated) into
+// the metrics once, at the single exit.
 func runBaseline(p *Protocol, cfg *Config, det Detector, opts Options, sched Scheduler, maxSteps, interval int64, rng *RNG) (Result, error) {
+	var ev *Event
+	if opts.Events != nil {
+		ev = new(Event)
+	}
+	var mut *Mutator
+	if opts.Injector != nil {
+		mut = &Mutator{cfg: cfg, events: opts.Events, ev: ev}
+	}
+	res := baselineLoop(p, cfg, det, opts, sched, maxSteps, interval, rng, mut, ev)
+	res.Metrics.Landings = res.Steps
+	if mut != nil {
+		mut.fold(&res.Metrics)
+	}
+	return res, nil
+}
+
+func baselineLoop(p *Protocol, cfg *Config, det Detector, opts Options, sched Scheduler, maxSteps, interval int64, rng *RNG, mut *Mutator, ev *Event) Result {
 	res := Result{Final: cfg, Engine: EngineBaseline}
+
+	// Already stable before any step. The indexed paths perform this
+	// check themselves, through their O(1) gates.
+	res.Metrics.DetectorChecks++
+	st := det.Stable(cfg)
+	emitDetect(opts.Events, ev, 0, st, cfg)
+	if st {
+		res.Converged = true
+		return res
+	}
 
 	// Stop is polled on a countdown (first poll before the first step,
 	// then every interval steps) so the hot loop pays one decrement,
@@ -363,10 +448,8 @@ func runBaseline(p *Protocol, cfg *Config, det Detector, opts Options, sched Sch
 	// check; the indexed engines replicate this exact ordering, so a
 	// fault plan produces the same event positions on every path.
 	inj := opts.Injector
-	var mut *Mutator
 	var nextFault int64
 	if inj != nil {
-		mut = &Mutator{cfg: cfg}
 		nextFault = inj.NextEvent(0)
 	}
 
@@ -379,7 +462,7 @@ func runBaseline(p *Protocol, cfg *Config, det Detector, opts Options, sched Sch
 				if opts.Stop() {
 					res.Stopped = true
 					res.Steps = step
-					return res, nil
+					return res
 				}
 			}
 		}
@@ -388,7 +471,7 @@ func runBaseline(p *Protocol, cfg *Config, det Detector, opts Options, sched Sch
 		beforeU, beforeV := cfg.Node(u), cfg.Node(v)
 		effective, edgeChanged := cfg.Apply(u, v, rng)
 		if effective {
-			recordEffective(&res, p, cfg, opts.Observer, step, u, v, beforeU, beforeV, edgeChanged)
+			recordEffective(&res, p, cfg, opts.Observer, opts.Events, ev, step, u, v, beforeU, beforeV, edgeChanged)
 		}
 
 		check := false
@@ -402,19 +485,25 @@ func runBaseline(p *Protocol, cfg *Config, det Detector, opts Options, sched Sch
 		default:
 			check = effective
 		}
-		if check && det.Stable(cfg) {
-			res.Converged = true
-			res.Steps = step
-			return res, nil
+		if check {
+			res.Metrics.DetectorChecks++
+			st := det.Stable(cfg)
+			emitDetect(opts.Events, ev, step, st, cfg)
+			if st {
+				res.Converged = true
+				res.Steps = step
+				return res
+			}
 		}
 
 		// Events at or beyond the budget never fire (the run is over
 		// before they could be observed).
 		if nextFault > 0 && nextFault <= step && step < maxSteps {
+			mut.step = step
 			inj.Inject(step, mut)
 			nextFault = inj.NextEvent(step)
 		}
 	}
 	res.Steps = maxSteps
-	return res, nil
+	return res
 }

@@ -1,0 +1,164 @@
+package core
+
+import "fmt"
+
+// EventKind names the record types of the structured run event stream.
+type EventKind uint8
+
+// Event kinds. A run with an EventSink attached emits exactly one
+// EventRunStart, then a deterministic interleaving of step, skip,
+// fault and detect events, then exactly one EventRunEnd — the same
+// interleaving every time for equal (protocol, n, seed, scheduler,
+// engine, faults), because emission never consumes randomness.
+const (
+	// EventRunStart opens a run: protocol, population, seed, engine and
+	// step budget, with Cfg pointing at the initial configuration.
+	EventRunStart EventKind = iota + 1
+	// EventStep is one effective interaction: the pair, both endpoint
+	// states before and after, and — when the edge flipped — its new
+	// state. Ineffective steps emit nothing; their positions are
+	// recoverable from the absolute Step numbers (and, on the indexed
+	// engines, from the EventSkip batches).
+	EventStep
+	// EventSkip is a geometric-skip batch on the indexed engines: the
+	// Skipped draws starting at Step all hit disabled pairs and were
+	// collapsed into one geometric draw instead of being simulated.
+	// Expanding each batch reconstructs exact step positions. The
+	// baseline engine simulates every draw individually and therefore
+	// never emits skip events.
+	EventSkip
+	// EventFaultFired marks one scenario fault firing (Label is the
+	// fault kind; U and V the victims, −1 when absent). The writes it
+	// caused follow as EventFaultNode / EventFaultEdge records.
+	EventFaultFired
+	// EventFaultNode is an out-of-band node-state write applied through
+	// a Mutator (crash sink entry, state reset).
+	EventFaultNode
+	// EventFaultEdge is an out-of-band edge write applied through a
+	// Mutator (adversarial edge deletion, crash edge removal).
+	EventFaultEdge
+	// EventDetect is one detector evaluation and its verdict.
+	EventDetect
+	// EventRunEnd closes a run with the outcome summary; Cfg points at
+	// the final configuration.
+	EventRunEnd
+)
+
+// String returns the kind's NDJSON record name.
+func (k EventKind) String() string {
+	switch k {
+	case EventRunStart:
+		return "start"
+	case EventStep:
+		return "step"
+	case EventSkip:
+		return "skip"
+	case EventFaultFired:
+		return "fault"
+	case EventFaultNode:
+		return "fault_node"
+	case EventFaultEdge:
+		return "fault_edge"
+	case EventDetect:
+		return "detect"
+	case EventRunEnd:
+		return "end"
+	default:
+		return fmt.Sprintf("event#%d", int(k))
+	}
+}
+
+// Event is one record of the structured run event stream. It is a
+// single flat struct rather than a per-kind hierarchy so the engines
+// can emit without allocating: the *Event passed to a sink is scratch
+// space reused between calls, so sinks that retain events must copy
+// the struct (and must not retain Cfg, which is the engine's live
+// configuration, valid only for the duration of the callback).
+//
+// Field validity by kind:
+//
+//	RunStart   Protocol, N, Seed, Engine, MaxSteps, Cfg (initial)
+//	Step       Step, U, V, BeforeU/V, AfterU/V, EdgeChanged (+Edge), Cfg
+//	Skip       Step (first skipped draw), Skipped (batch length)
+//	FaultFired Step, Label, U, V (−1 when absent), Cfg
+//	FaultNode  Step, U, BeforeU, AfterU, Cfg
+//	FaultEdge  Step, U, V, Edge (new state), Cfg
+//	Detect     Step (the step the verdict applies to), Stable, Cfg
+//	RunEnd     Step (total steps), Converged, EffectiveSteps,
+//	           EdgeChanges, ConvergenceTime, plus the RunStart
+//	           envelope fields, Cfg (final)
+type Event struct {
+	Kind EventKind
+	Step int64
+
+	// Effective-step and fault-write payload.
+	U, V             int
+	BeforeU, BeforeV State
+	AfterU, AfterV   State
+	// EdgeChanged reports whether the step flipped the edge {U, V};
+	// Edge is the edge's new state when it did (and the written state
+	// for EventFaultEdge).
+	EdgeChanged bool
+	Edge        bool
+
+	// Skipped is the EventSkip batch length: draws at positions
+	// Step, Step+1, …, Step+Skipped−1 hit disabled pairs.
+	Skipped int64
+
+	// Label is the EventFaultFired fault kind ("crash", "edge",
+	// "reset" for scenario plans; free-form for custom injectors).
+	Label string
+
+	// Stable is the EventDetect verdict.
+	Stable bool
+
+	// Run envelope (EventRunStart / EventRunEnd).
+	Protocol        string
+	N               int
+	Seed            uint64
+	Engine          Engine
+	MaxSteps        int64
+	Converged       bool
+	EffectiveSteps  int64
+	EdgeChanges     int64
+	ConvergenceTime int64
+
+	// Cfg is the engine's live configuration at the time of the event.
+	// It must not be retained or mutated; copy what you need (e.g.
+	// Clone, Fingerprint, or a snapshot) before returning.
+	Cfg *Config
+}
+
+// EventSink receives the structured event stream of a run. Sinks are
+// invoked synchronously from the engine's loop, in step order; a sink
+// used across concurrent runs must be safe for concurrent use (the
+// prebuilt sinks in internal/trace are not — one per run).
+//
+// Attaching a sink never changes a run's results: emission draws no
+// randomness and mutates nothing, so a run with a sink is bit-identical
+// to the same run without one. With no sink attached the engines pay a
+// nil check and nothing else.
+type EventSink interface {
+	Event(ev *Event)
+}
+
+// emitDetect reports one detector evaluation to the sink. Top-level
+// helpers (rather than closures) keep the no-sink hot path free of
+// capture allocations.
+func emitDetect(events EventSink, ev *Event, step int64, stable bool, cfg *Config) {
+	if events == nil {
+		return
+	}
+	*ev = Event{Kind: EventDetect, Step: step, Stable: stable, Cfg: cfg}
+	events.Event(ev)
+}
+
+// emitSkip reports one geometric-skip batch: count draws starting at
+// position first were collapsed without simulation.
+func emitSkip(events EventSink, ev *Event, first, count int64) {
+	if events == nil {
+		return
+	}
+	*ev = Event{Kind: EventSkip, Step: first, Skipped: count}
+	events.Event(ev)
+}

@@ -117,6 +117,10 @@ type pairSampler interface {
 	// state the index last saw.
 	nodeChanged(u int, before State)
 	edgeChanged(u, v int)
+	// sampleStats reports the index's sampling effort so far: rejected
+	// candidate draws and exact-walk fallbacks. The dense index samples
+	// directly and always reports zero.
+	sampleStats() (rejections, fallbacks int64)
 }
 
 // pairSampler adapter for PairIndex.
@@ -134,6 +138,8 @@ func (ix *PairIndex) applied(u, v int, beforeU, beforeV State, _ bool) {
 	}
 }
 
+func (ix *PairIndex) sampleStats() (int64, int64) { return 0, 0 }
+
 // runFast is the enabled-pair-index engine: runIndexed over a dense
 // PairIndex (Θ(n²) memory, O(n) update per effective step). With a
 // workspace the index is reset in place — and for default-start runs
@@ -141,12 +147,19 @@ func (ix *PairIndex) applied(u, v int, beforeU, beforeV State, _ bool) {
 // freshly built.
 func runFast(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, interval int64, rng *RNG) (Result, error) {
 	var ix *PairIndex
+	restored := false
 	if ws := opts.Workspace; ws != nil {
-		ix = ws.pairIndex(cfg, opts.Initial == nil)
+		ix, restored = ws.pairIndex(cfg, opts.Initial == nil)
 	} else {
 		ix = NewPairIndex(cfg)
 	}
-	return runIndexed(p, cfg, det, opts, maxSteps, interval, rng, ix, EngineFast)
+	res, err := runIndexed(p, cfg, det, opts, maxSteps, interval, rng, ix, EngineFast)
+	if restored {
+		res.Metrics.SnapshotRestores = 1
+	} else {
+		res.Metrics.IndexBuilds = 1
+	}
+	return res, err
 }
 
 // runSparse is the state-class engine: runIndexed over a ClassIndex
@@ -160,7 +173,11 @@ func runSparse(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, i
 	} else {
 		ix = NewClassIndex(cfg)
 	}
-	return runIndexed(p, cfg, det, opts, maxSteps, interval, rng, ix, EngineSparse)
+	res, err := runIndexed(p, cfg, det, opts, maxSteps, interval, rng, ix, EngineSparse)
+	// The class index rebuilds in place either way — a reset is a fresh
+	// O(n + m + |Q|²) build, never a snapshot restore.
+	res.Metrics.IndexBuilds = 1
+	return res, err
 }
 
 // runIndexed is the shared engine behind EngineFast and EngineSparse.
@@ -188,28 +205,73 @@ func runSparse(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, i
 // scan at all.
 //
 // The caller (Run) has already resolved defaults and cloned the
-// initial configuration.
+// initial configuration. runIndexed wraps indexedLoop to fold the
+// mutator's fault tallies and the index's sampling effort into the
+// metrics once, at the single exit.
 func runIndexed(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, interval int64, rng *RNG, ix pairSampler, engine Engine) (Result, error) {
+	var ev *Event
+	if opts.Events != nil {
+		ev = new(Event)
+	}
+	var mut *Mutator
+	if opts.Injector != nil {
+		mut = &Mutator{cfg: cfg, ix: ix, events: opts.Events, ev: ev}
+	}
+	res := indexedLoop(p, cfg, det, opts, maxSteps, interval, rng, ix, engine, mut, ev)
+	if mut != nil {
+		mut.fold(&res.Metrics)
+	}
+	res.Metrics.SampleRejections, res.Metrics.SampleFallbacks = ix.sampleStats()
+	return res, nil
+}
+
+// skipRange folds the geometrically skipped draws at positions
+// from+1 … to into the metrics and emits them as one skip-batch event
+// (no-op when the range is empty). Every position a skip batch covers
+// is a draw that provably hit a disabled pair, so expanding the batches
+// reconstructs the baseline's exact per-position timeline.
+func skipRange(res *Result, events EventSink, ev *Event, from, to int64) {
+	count := to - from
+	if count <= 0 {
+		return
+	}
+	res.Metrics.SkippedSteps += count
+	res.Metrics.SkipBatches++
+	emitSkip(events, ev, from+1, count)
+}
+
+func indexedLoop(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, interval int64, rng *RNG, ix pairSampler, engine Engine, mut *Mutator, ev *Event) Result {
 	n := cfg.n
 	res := Result{Final: cfg, Engine: engine}
 	total := float64(n) * float64(n-1) / 2
+	events := opts.Events
 
-	stable := func() bool {
+	// stable evaluates the detector (through its O(1) gate when it has
+	// one) against the configuration frozen at step `at`, counting the
+	// check and emitting the verdict. Detect events are emitted at
+	// evaluation time, which for interval checks inside a frozen
+	// stretch is before the skip batch covering that stretch — the
+	// events' Step fields keep the per-position timeline unambiguous.
+	stable := func(at int64) bool {
+		res.Metrics.DetectorChecks++
+		var st bool
 		switch det.Gate {
 		case GateQuiescence:
-			return ix.enabledPairs() == 0
+			st = ix.enabledPairs() == 0
 		case GateEdgeQuiescence:
-			return ix.edgeEnabledPairs() == 0
+			st = ix.edgeEnabledPairs() == 0
 		default:
-			return det.Stable(cfg)
+			st = det.Stable(cfg)
 		}
+		emitDetect(events, ev, at, st, cfg)
+		return st
 	}
 
-	if stable() {
+	if stable(0) {
 		// Already stable before any step, matching the baseline's
 		// pre-loop check.
 		res.Converged = true
-		return res, nil
+		return res
 	}
 
 	// Scenario faults: the injector announces the step of its next
@@ -217,10 +279,8 @@ func runIndexed(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, 
 	// positions as on the baseline path, and the Mutator routes every
 	// mutation through the index.
 	inj := opts.Injector
-	var mut *Mutator
 	var nextFault int64
 	if inj != nil {
-		mut = &Mutator{cfg: cfg, ix: ix}
 		nextFault = inj.NextEvent(0)
 	}
 
@@ -243,12 +303,13 @@ func runIndexed(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, 
 		if opts.Stop != nil && opts.Stop() {
 			res.Stopped = true
 			res.Steps = step
-			return res, nil
+			return res
 		}
 
 		// Fire the events due at the current step (reached by the
 		// fault-horizon cut below, or by a landing at the event step).
 		for nextFault > 0 && nextFault <= step {
+			mut.step = step
 			inj.Inject(step, mut)
 			nextFault = inj.NextEvent(step)
 		}
@@ -282,12 +343,14 @@ func runIndexed(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, 
 		// beyond the budget never fire, exactly as on the baseline.
 		if nextFault > 0 && nextFault < land && nextFault < maxSteps {
 			if det.Trigger == TriggerInterval {
-				if s := nextCheck(step, interval); s <= nextFault && stable() {
+				if s := nextCheck(step, interval); s <= nextFault && stable(s) {
+					skipRange(&res, events, ev, step, s)
 					res.Converged = true
 					res.Steps = s
-					return res, nil
+					return res
 				}
 			}
+			skipRange(&res, events, ev, step, nextFault)
 			step = nextFault
 			continue
 		}
@@ -299,18 +362,22 @@ func runIndexed(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, 
 		// predicate is only evaluated when a grid point actually
 		// precedes the landing — dense phases never pay for it.
 		if det.Trigger == TriggerInterval {
-			if s := nextCheck(step, interval); s <= maxSteps && s < land && stable() {
+			if s := nextCheck(step, interval); s <= maxSteps && s < land && stable(s) {
+				skipRange(&res, events, ev, step, s)
 				res.Converged = true
 				res.Steps = s
-				return res, nil
+				return res
 			}
 		}
 		if land > maxSteps {
+			skipRange(&res, events, ev, step, maxSteps)
 			res.Steps = maxSteps
-			return res, nil
+			return res
 		}
 
+		skipRange(&res, events, ev, step, land-1)
 		step = land
+		res.Metrics.Landings++
 		u, v := ix.samplePair(rng)
 		beforeU, beforeV := cfg.nodes[u], cfg.nodes[v]
 		// An enabled pair can still take an ineffective probabilistic
@@ -319,7 +386,7 @@ func runIndexed(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, 
 		effective, edgeChanged := cfg.Apply(u, v, rng)
 		if effective {
 			ix.applied(u, v, beforeU, beforeV, edgeChanged)
-			recordEffective(&res, p, cfg, opts.Observer, step, u, v, beforeU, beforeV, edgeChanged)
+			recordEffective(&res, p, cfg, opts.Observer, events, ev, step, u, v, beforeU, beforeV, edgeChanged)
 		}
 
 		check := false
@@ -333,12 +400,12 @@ func runIndexed(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, 
 		default:
 			check = effective
 		}
-		if check && stable() {
+		if check && stable(step) {
 			res.Converged = true
 			res.Steps = step
-			return res, nil
+			return res
 		}
 	}
 	res.Steps = maxSteps
-	return res, nil
+	return res
 }

@@ -39,6 +39,41 @@ type Injector interface {
 type Mutator struct {
 	cfg *Config
 	ix  pairSampler // nil on the baseline path
+
+	// events and ev are the run's event sink and scratch record (both
+	// nil when no sink is attached); step is the engine's current step,
+	// refreshed before each Inject call so fault events carry their
+	// exact position.
+	events EventSink
+	ev     *Event
+	step   int64
+
+	// Fault tallies folded into Result.Metrics at the end of the run.
+	// The write counters count mutations actually applied — the setters'
+	// no-op early returns don't tally.
+	firings    int64
+	nodeWrites int64
+	edgeWrites int64
+}
+
+// Fired reports one fault firing: label names the fault kind and u, v
+// the victims (−1 when absent — e.g. a node fault has no v). Injectors
+// call it once per firing, before applying the writes it causes, so a
+// consumer sees EventFaultFired followed by that firing's
+// EventFaultNode / EventFaultEdge records.
+func (m *Mutator) Fired(label string, u, v int) {
+	m.firings++
+	if m.events != nil {
+		*m.ev = Event{Kind: EventFaultFired, Step: m.step, Label: label, U: u, V: v, Cfg: m.cfg}
+		m.events.Event(m.ev)
+	}
+}
+
+// fold adds the mutator's fault tallies to mm.
+func (m *Mutator) fold(mm *Metrics) {
+	mm.FaultFirings += m.firings
+	mm.FaultNodeWrites += m.nodeWrites
+	mm.FaultEdgeWrites += m.edgeWrites
 }
 
 // Config exposes the live configuration for reading (picking victims,
@@ -56,6 +91,12 @@ func (m *Mutator) SetNode(u int, s State) {
 	if m.ix != nil {
 		m.ix.nodeChanged(u, before)
 	}
+	m.nodeWrites++
+	if m.events != nil {
+		*m.ev = Event{Kind: EventFaultNode, Step: m.step, U: u,
+			BeforeU: before, AfterU: s, Cfg: m.cfg}
+		m.events.Event(m.ev)
+	}
 }
 
 // SetEdge overwrites the state of edge {u, v}.
@@ -66,5 +107,11 @@ func (m *Mutator) SetEdge(u, v int, active bool) {
 	m.cfg.SetEdge(u, v, active)
 	if m.ix != nil {
 		m.ix.edgeChanged(u, v)
+	}
+	m.edgeWrites++
+	if m.events != nil {
+		*m.ev = Event{Kind: EventFaultEdge, Step: m.step, U: u, V: v,
+			EdgeChanged: true, Edge: active, Cfg: m.cfg}
+		m.events.Event(m.ev)
 	}
 }

@@ -1,0 +1,58 @@
+package core
+
+// Metrics is the per-run engine telemetry attached to every Result.
+// All fields except WallNS are deterministic in (protocol, n, seed,
+// scheduler, engine, faults) and independent of workspace reuse —
+// except the setup counters (IndexBuilds, SnapshotRestores,
+// WorkspaceResets), which by design describe how this particular run's
+// state was prepared. The counters are plain increments on paths the
+// engines already execute, so maintaining them costs no extra branches
+// in the hot loops and nothing scales with n.
+type Metrics struct {
+	// WallNS is the run's wall-clock time in nanoseconds — the one
+	// nondeterministic field.
+	WallNS int64 `json:"wall_ns,omitempty"`
+
+	// Landings counts the scheduler draws the engine actually
+	// simulated: every step on the baseline path, only the geometric
+	// landings on the indexed paths. Landings + SkippedSteps = Steps
+	// on every engine (SkippedSteps is zero on the baseline).
+	Landings int64 `json:"landings,omitempty"`
+	// SkippedSteps counts the draws collapsed by the geometric skip —
+	// draws that provably hit disabled pairs and were never simulated.
+	SkippedSteps int64 `json:"skipped_steps,omitempty"`
+	// SkipBatches counts the geometric batches those skips arrived in.
+	SkipBatches int64 `json:"skip_batches,omitempty"`
+
+	// DetectorChecks counts evaluations of the stability predicate
+	// (including O(1) gate evaluations on the indexed paths).
+	DetectorChecks int64 `json:"detector_checks,omitempty"`
+
+	// IndexBuilds counts full engine-index constructions this run paid
+	// (the O(n²) PairIndex scan or the O(n + m + |Q|²) ClassIndex
+	// build); SnapshotRestores counts the times the workspace's
+	// start-state snapshot replaced that scan with memcpys. Baseline
+	// runs carry no index and report zero for both.
+	IndexBuilds      int64 `json:"index_builds,omitempty"`
+	SnapshotRestores int64 `json:"snapshot_restores,omitempty"`
+
+	// SampleRejections counts rejected candidate draws in the sparse
+	// engine's class-internal rejection sampling; SampleFallbacks
+	// counts the exact-walk fallbacks taken when active edges saturate
+	// a class. Zero on the baseline and fast paths.
+	SampleRejections int64 `json:"sample_rejections,omitempty"`
+	SampleFallbacks  int64 `json:"sample_fallbacks,omitempty"`
+
+	// WorkspaceResets counts the in-place component resets
+	// (configuration, index, RNG) the run's workspace performed instead
+	// of fresh allocations. Zero without Options.Workspace.
+	WorkspaceResets int64 `json:"workspace_resets,omitempty"`
+
+	// FaultFirings counts scenario fault firings reported through
+	// Mutator.Fired; FaultNodeWrites and FaultEdgeWrites count the
+	// out-of-band state and edge writes those firings actually applied
+	// (a firing whose victim pool is empty applies nothing).
+	FaultFirings    int64 `json:"fault_firings,omitempty"`
+	FaultNodeWrites int64 `json:"fault_node_writes,omitempty"`
+	FaultEdgeWrites int64 `json:"fault_edge_writes,omitempty"`
+}

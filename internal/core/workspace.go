@@ -29,6 +29,14 @@ type Workspace struct {
 	class *ClassIndex
 	rng   *RNG
 
+	// resets counts the in-place component reuses (configuration
+	// reset/copy, RNG reseed, index reset or snapshot restore) performed
+	// so far; Run reports the per-run delta as
+	// Result.Metrics.WorkspaceResets. A fresh build of a component does
+	// not count — the steady state of a campaign worker is three resets
+	// per trial and zero allocations.
+	resets int64
+
 	// Start-state snapshot of the dense index, captured whenever the
 	// index is (re)built by full scan for a run that starts from the
 	// default all-q0 configuration. Subsequent default-start runs of the
@@ -63,6 +71,7 @@ func (ws *Workspace) config(p *Protocol, n int, initial *Config) *Config {
 		}
 		return ws.cfg
 	}
+	ws.resets++
 	if initial != nil {
 		ws.cfg.copyFrom(initial)
 	} else {
@@ -78,24 +87,28 @@ func (ws *Workspace) rngFor(seed uint64) *RNG {
 		ws.rng = NewRNG(seed)
 		return ws.rng
 	}
+	ws.resets++
 	ws.rng.Reseed(seed)
 	return ws.rng
 }
 
 // pairIndex returns the workspace's dense enabled-pair index rebound
-// to cfg. defaultStart marks runs beginning from the all-q0 initial
-// configuration: those restore the captured start-state snapshot when
-// it matches (memcpy instead of the O(n²) rescan) and refresh the
-// snapshot otherwise, so only the first trial of a point pays the
-// scan.
-func (ws *Workspace) pairIndex(cfg *Config, defaultStart bool) *PairIndex {
+// to cfg, and whether it was restored from the start-state snapshot
+// rather than (re)built by full scan. defaultStart marks runs beginning
+// from the all-q0 initial configuration: those restore the captured
+// snapshot when it matches (memcpy instead of the O(n²) rescan) and
+// refresh the snapshot otherwise, so only the first trial of a point
+// pays the scan.
+func (ws *Workspace) pairIndex(cfg *Config, defaultStart bool) (*PairIndex, bool) {
 	if defaultStart && ws.snapValid && ws.snapProto == cfg.proto && ws.snapN == cfg.n && ws.pair != nil {
+		ws.resets++
 		ws.pair.restore(cfg, ws.snapPos, ws.snapList, ws.snapBits, ws.snapEdgeEnabled)
-		return ws.pair
+		return ws.pair, true
 	}
 	if ws.pair == nil {
 		ws.pair = NewPairIndex(cfg)
 	} else {
+		ws.resets++
 		ws.pair.reset(cfg)
 	}
 	if defaultStart {
@@ -107,7 +120,7 @@ func (ws *Workspace) pairIndex(cfg *Config, defaultStart bool) *PairIndex {
 		ws.snapBits = append(ws.snapBits[:0], ws.pair.edgeBits...)
 		ws.snapEdgeEnabled = ws.pair.edgeEnabled
 	}
-	return ws.pair
+	return ws.pair, false
 }
 
 // classIndex returns the workspace's sparse state-class index rebound
@@ -117,6 +130,7 @@ func (ws *Workspace) classIndex(cfg *Config) *ClassIndex {
 	if ws.class == nil {
 		ws.class = NewClassIndex(cfg)
 	} else {
+		ws.resets++
 		ws.class.reset(cfg)
 	}
 	return ws.class

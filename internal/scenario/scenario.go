@@ -391,6 +391,7 @@ func (inj *Injection) crash(m *core.Mutator) {
 	if u < 0 {
 		return
 	}
+	m.Fired(string(KindCrash), u, -1)
 	cfg := m.Config()
 	inj.nbuf = cfg.ActiveNeighbors(u, inj.nbuf[:0])
 	for _, x := range inj.nbuf {
@@ -428,6 +429,7 @@ func (inj *Injection) deleteEdge(m *core.Mutator) {
 		k--
 	})
 	if du >= 0 {
+		m.Fired(string(KindEdge), du, dv)
 		m.SetEdge(du, dv, false)
 		inj.counts.EdgeDeletions++
 	}
@@ -438,6 +440,7 @@ func (inj *Injection) reset(m *core.Mutator) {
 	if u < 0 {
 		return
 	}
+	m.Fired(string(KindReset), u, -1)
 	m.SetNode(u, m.Config().Protocol().Initial())
 	inj.counts.Resets++
 }

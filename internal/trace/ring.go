@@ -1,0 +1,54 @@
+package trace
+
+import "repro/internal/core"
+
+// Ring is a fixed-capacity in-memory core.EventSink keeping the most
+// recent events — the cheap way for tests (and post-mortem debugging)
+// to inspect the tail of a run's stream without holding all of it.
+// Events are copied by value with Cfg stripped, honoring the sink
+// contract that the engine's scratch record and live configuration
+// must not be retained.
+type Ring struct {
+	buf   []core.Event
+	next  int
+	total int64
+}
+
+var _ core.EventSink = (*Ring)(nil)
+
+// NewRing returns a ring keeping the last capacity events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]core.Event, 0, capacity)}
+}
+
+// Event implements core.EventSink.
+func (r *Ring) Event(ev *core.Event) {
+	e := *ev
+	e.Cfg = nil
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+}
+
+// Total returns the number of events observed, including those already
+// overwritten.
+func (r *Ring) Total() int64 { return r.total }
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []core.Event {
+	out := make([]core.Event, 0, len(r.buf))
+	if r.total > int64(len(r.buf)) {
+		// Buffer is full and wrapped: r.next is the oldest slot.
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+		return out
+	}
+	return append(out, r.buf...)
+}

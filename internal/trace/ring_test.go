@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/protocols"
+)
+
+func TestRingWrapAround(t *testing.T) {
+	t.Parallel()
+	r := NewRing(4)
+	cfg := core.NewConfig(protocols.GlobalStar().Proto, 2)
+	for step := int64(1); step <= 10; step++ {
+		r.Event(&core.Event{Kind: core.EventStep, Step: step, Cfg: cfg})
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	got := r.Events()
+	if len(got) != 4 {
+		t.Fatalf("kept %d events, want 4", len(got))
+	}
+	for i, e := range got {
+		if want := int64(7 + i); e.Step != want {
+			t.Fatalf("event %d has step %d, want %d (oldest first)", i, e.Step, want)
+		}
+		if e.Cfg != nil {
+			t.Fatal("ring retained the live Cfg pointer")
+		}
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	t.Parallel()
+	r := NewRing(8)
+	for step := int64(1); step <= 3; step++ {
+		r.Event(&core.Event{Kind: core.EventDetect, Step: step})
+	}
+	got := r.Events()
+	if len(got) != 3 || got[0].Step != 1 || got[2].Step != 3 {
+		t.Fatalf("partial ring returned %+v", got)
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	t.Parallel()
+	r := NewRing(0)
+	r.Event(&core.Event{Kind: core.EventDetect, Step: 1})
+	r.Event(&core.Event{Kind: core.EventDetect, Step: 2})
+	got := r.Events()
+	if len(got) != 1 || got[0].Step != 2 {
+		t.Fatalf("zero-capacity ring returned %+v", got)
+	}
+}

@@ -38,7 +38,10 @@ type Recorder struct {
 	limit     int
 }
 
-var _ core.Observer = (*Recorder)(nil)
+var (
+	_ core.Observer  = (*Recorder)(nil)
+	_ core.EventSink = (*Recorder)(nil)
+)
 
 // NewRecorder returns a Recorder keeping at most limit snapshots
 // (minimum 8).
@@ -47,6 +50,24 @@ func NewRecorder(limit int) *Recorder {
 		limit = 8
 	}
 	return &Recorder{every: 1, limit: limit}
+}
+
+// Event implements core.EventSink, so a Recorder can be attached via
+// Options.Events instead of Options.Observer. Snapshots are keyed on
+// graph changes: effective steps that flipped an edge and out-of-band
+// fault edge writes feed the thinning reservoir, and the run-end event
+// records the terminal configuration — so callers no longer need to
+// call Final themselves. Skip batches and detector verdicts carry no
+// configuration change and are ignored.
+func (r *Recorder) Event(ev *core.Event) {
+	switch ev.Kind {
+	case core.EventStep:
+		r.ObserveStep(ev.Step, ev.U, ev.V, ev.EdgeChanged, ev.Cfg)
+	case core.EventFaultEdge:
+		r.ObserveStep(ev.Step, ev.U, ev.V, true, ev.Cfg)
+	case core.EventRunEnd:
+		r.Final(ev.Step, ev.Cfg)
+	}
 }
 
 // ObserveStep implements core.Observer.

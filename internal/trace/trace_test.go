@@ -35,6 +35,49 @@ func TestRecorderCapturesRun(t *testing.T) {
 	}
 }
 
+// TestRecorderOnEventStream attaches the Recorder as a core.EventSink
+// instead of an Observer: the run-end event must record the terminal
+// configuration without an explicit Final call, and snapshot selection
+// must behave exactly as in the observer path — including on the fast
+// engine, whose stream interleaves skip batches with the step events.
+func TestRecorderOnEventStream(t *testing.T) {
+	t.Parallel()
+	c := protocols.GlobalStar()
+	rec := NewRecorder(64)
+	res, err := core.Run(c.Proto, 20, core.Options{Seed: 1, Engine: core.EngineFast, Detector: c.Detector, Events: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("run did not converge")
+	}
+	if rec.Len() < 3 {
+		t.Fatalf("only %d snapshots", rec.Len())
+	}
+	shots := rec.Select([]float64{0, 1})
+	if !shots[1].Graph.IsSpanningStar() {
+		t.Fatalf("final snapshot %v is not the stable star", shots[1].Graph)
+	}
+	if shots[1].Step != res.Steps {
+		t.Fatalf("final snapshot at step %d, run ended at %d", shots[1].Step, res.Steps)
+	}
+}
+
+// TestRecorderLimitFloor pins the documented minimum: limits below 8
+// are clamped rather than honored, so thinning always has room to keep
+// a usable run outline.
+func TestRecorderLimitFloor(t *testing.T) {
+	t.Parallel()
+	c := protocols.CycleCover()
+	rec := NewRecorder(2)
+	if _, err := core.Run(c.Proto, 60, core.Options{Seed: 5, Detector: c.Detector, Events: rec}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 || rec.Len() > 8 {
+		t.Fatalf("recorder with limit 2 kept %d snapshots, want 1..8", rec.Len())
+	}
+}
+
 func TestRecorderThinningBoundsMemory(t *testing.T) {
 	t.Parallel()
 	c := protocols.CycleCover()
