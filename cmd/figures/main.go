@@ -37,7 +37,7 @@ func run() error {
 		n      = flag.Int("n", 16, "population size for snapshots")
 		seed   = flag.Uint64("seed", 1, "RNG seed")
 		out    = flag.String("out", "figures", "output directory")
-		engine = flag.String("engine", "auto", "execution path for the snapshot runs: auto, baseline, fast, or sparse")
+		engine = flag.String("engine", "auto", "execution path for the snapshot runs: auto, baseline, fast, sparse, or batch")
 	)
 	flag.Parse()
 	eng, err := core.ParseEngine(*engine)

@@ -42,7 +42,7 @@ func run() error {
 		trials   = flag.Int("trials", 3, "independent runs")
 		seed     = flag.Uint64("seed", 1, "base RNG seed")
 		workers  = flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
-		engine   = flag.String("engine", "auto", "execution path: auto, baseline, fast, or sparse")
+		engine   = flag.String("engine", "auto", "execution path: auto, baseline, fast, sparse, or batch")
 		sched    = flag.String("scheduler", "uniform", "scheduler: uniform, round-robin, permutation, weighted, or biased")
 		faults   = flag.String("faults", "", `fault plan, e.g. "crash@500x2,edge@0.001,reset@1000"`)
 		detector = flag.String("detector", "", "stability predicate: target (default), quiescence, or edge-quiescence; fault runs default to quiescence")
@@ -122,6 +122,7 @@ func run() error {
 	}
 
 	var lastConvergedSeed, firstSeed uint64
+	var lastConvergedSteps, firstSeedSteps int64
 	haveConverged := false
 	out, err := campaign.Execute(context.Background(), []campaign.Point{{
 		Protocol:     c.Proto.Name(),
@@ -141,6 +142,7 @@ func run() error {
 		OnRun: func(rec campaign.RunRecord) {
 			if rec.Trial == 0 {
 				firstSeed = rec.Seed
+				firstSeedSteps = rec.Steps
 			}
 			if !rec.Converged {
 				fmt.Printf("  trial %d: DID NOT CONVERGE within %d steps\n", rec.Trial, rec.Steps)
@@ -153,6 +155,7 @@ func run() error {
 			fmt.Printf("  trial %d: converged at step %d (%d effective, %d edge changes%s)\n",
 				rec.Trial, rec.ConvergenceTime, rec.EffectiveSteps, rec.EdgeChanges, faultNote)
 			lastConvergedSeed = rec.Seed
+			lastConvergedSteps = rec.Steps
 			haveConverged = true
 		},
 	})
@@ -170,9 +173,14 @@ func run() error {
 		// recovers the exact run the campaign measured: the last
 		// converged trial when there is one, the first trial otherwise
 		// (a trace of a non-converging run is still worth inspecting).
-		replaySeed := firstSeed
+		// One exception, disclosed below: a batch-engine run that took
+		// the pure bucket-plan path cannot be replayed with a sink
+		// attached — the sink reroutes the replay to exact stepping
+		// (bit-identical to -engine sparse), which is equal in law but
+		// not bit-identical to the measured batched trial.
+		replaySeed, measuredSteps := firstSeed, firstSeedSteps
 		if haveConverged {
-			replaySeed = lastConvergedSeed
+			replaySeed, measuredSteps = lastConvergedSeed, lastConvergedSteps
 		}
 		opts := core.Options{Seed: replaySeed, Engine: eng, Detector: det}
 		proto := c.Proto
@@ -209,6 +217,9 @@ func run() error {
 				return err
 			}
 			fmt.Printf("event trace of seed-%d replay written to %s\n", replaySeed, *tracePth)
+		}
+		if res.Steps != measuredSteps {
+			fmt.Printf("note: the measured trial ran the %s engine's batched path; the replay exact-stepped (bit-identical to -engine sparse, equal in law to the measured trial)\n", res.Engine)
 		}
 		if *dot && haveConverged {
 			g := protocols.ActiveGraph(res.Final)

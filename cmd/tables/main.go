@@ -34,7 +34,7 @@ func run() error {
 		trials = flag.Int("trials", 5, "trials per (process, n) cell")
 		seed   = flag.Uint64("seed", 1, "base RNG seed")
 		quick  = flag.Bool("quick", false, "smaller sweeps for a fast pass")
-		engine = flag.String("engine", "auto", "execution path: auto, baseline, fast, or sparse")
+		engine = flag.String("engine", "auto", "execution path: auto, baseline, fast, sparse, or batch")
 	)
 	flag.Parse()
 

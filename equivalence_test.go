@@ -2,9 +2,9 @@ package netcons_test
 
 // TestEngineEquivalence is the distributional-equivalence suite for
 // the indexed engines: every registered protocol and every Table 1
-// process runs under the uniform scheduler on ALL THREE engines
-// (baseline, fast, sparse) across many seeds, and the suites must
-// agree on
+// process runs under the uniform scheduler on ALL FOUR engines
+// (baseline, fast, sparse, batch) across many seeds, and the suites
+// must agree on
 //
 //   - convergence semantics: every trial converges on every engine
 //     (and no trial stops), and
@@ -17,9 +17,10 @@ package netcons_test
 // what this asserts. Seeds are fixed, so the test itself is fully
 // deterministic — a failure means a real law change, not noise.
 //
-// CI greps this test's -v output for the engine=fast and engine=sparse
-// subtests, so a silently skipped engine fails the job; keep the
-// subtest naming scheme in sync with .github/workflows/ci.yml.
+// CI greps this test's -v output for the engine=fast, engine=sparse
+// and engine=batch subtests, so a silently skipped engine fails the
+// job; keep the subtest naming scheme in sync with
+// .github/workflows/ci.yml.
 
 import (
 	"context"
@@ -36,7 +37,7 @@ import (
 
 // indexedEngines are the execution paths measured against the
 // baseline by the equivalence suites.
-var indexedEngines = []core.Engine{core.EngineFast, core.EngineSparse}
+var indexedEngines = []core.Engine{core.EngineFast, core.EngineSparse, core.EngineBatch}
 
 // equivalencePoints returns the grid the suite sweeps: every registry
 // protocol at a small-but-nontrivial population, and every registered
@@ -269,7 +270,7 @@ func TestWorkspaceCampaignEquivalence(t *testing.T) {
 		}
 		return out.Runs
 	}
-	for _, engine := range []core.Engine{core.EngineBaseline, core.EngineFast, core.EngineSparse} {
+	for _, engine := range []core.Engine{core.EngineBaseline, core.EngineFast, core.EngineSparse, core.EngineBatch} {
 		engine := engine
 		t.Run(fmt.Sprintf("engine=%s", engine), func(t *testing.T) {
 			t.Parallel()

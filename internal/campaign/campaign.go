@@ -244,10 +244,12 @@ type RunRecord struct {
 	// workspace resets would differ between allocation modes and break
 	// the record-level determinism contract (fresh and workspace runs
 	// produce identical records up to DurationNS).
-	SkippedSteps     int64 `json:"skipped_steps,omitempty"`
-	SkipBatches      int64 `json:"skip_batches,omitempty"`
-	SampleRejections int64 `json:"sample_rejections,omitempty"`
-	SampleFallbacks  int64 `json:"sample_fallbacks,omitempty"`
+	SkippedSteps          int64 `json:"skipped_steps,omitempty"`
+	SkipBatches           int64 `json:"skip_batches,omitempty"`
+	SampleRejections      int64 `json:"sample_rejections,omitempty"`
+	SampleFallbacks       int64 `json:"sample_fallbacks,omitempty"`
+	BucketDraws           int64 `json:"bucket_draws,omitempty"`
+	ExactFallbackLandings int64 `json:"exact_fallback_landings,omitempty"`
 	// DurationNS is wall-clock and therefore the one nondeterministic
 	// field of a record.
 	DurationNS int64  `json:"duration_ns"`
@@ -732,6 +734,8 @@ func runTrial(ctx context.Context, pt *Point, pointIdx, trial int, timeout time.
 	rec.SkipBatches = res.Metrics.SkipBatches
 	rec.SampleRejections = res.Metrics.SampleRejections
 	rec.SampleFallbacks = res.Metrics.SampleFallbacks
+	rec.BucketDraws = res.Metrics.BucketDraws
+	rec.ExactFallbackLandings = res.Metrics.ExactFallbackLandings
 	metric := pt.Metric
 	if metric == nil {
 		metric = MetricConvergenceTime

@@ -70,7 +70,8 @@ func WriteRunsCSV(w io.Writer, runs []RunRecord) error {
 		"point", "protocol", "n", "scheduler", "faults", "trial", "seed",
 		"engine", "converged", "stopped", "steps", "convergence_time",
 		"effective_steps", "edge_changes", "skipped_steps", "skip_batches",
-		"sample_rejections", "sample_fallbacks", "fault_crashes",
+		"sample_rejections", "sample_fallbacks", "bucket_draws",
+		"exact_fallback_landings", "fault_crashes",
 		"fault_edge_deletions", "fault_resets", "value", "duration_ns",
 		"err",
 	}); err != nil {
@@ -96,6 +97,8 @@ func WriteRunsCSV(w io.Writer, runs []RunRecord) error {
 			strconv.FormatInt(r.SkipBatches, 10),
 			strconv.FormatInt(r.SampleRejections, 10),
 			strconv.FormatInt(r.SampleFallbacks, 10),
+			strconv.FormatInt(r.BucketDraws, 10),
+			strconv.FormatInt(r.ExactFallbackLandings, 10),
 			strconv.FormatInt(r.FaultCrashes, 10),
 			strconv.FormatInt(r.FaultEdgeDeletions, 10),
 			strconv.FormatInt(r.FaultResets, 10),

@@ -224,7 +224,7 @@ func (s Spec) Compile() ([]Point, error) {
 				if err != nil {
 					return nil, err
 				}
-				if (engine == core.EngineFast || engine == core.EngineSparse) && factory != nil {
+				if (engine == core.EngineFast || engine == core.EngineSparse || engine == core.EngineBatch) && factory != nil {
 					return nil, fmt.Errorf("campaign: item %d (%q): the %s engine requires the uniform scheduler, not %q", i, item.Name, engine, schedName)
 				}
 				if err := engine.ValidateN(n); err != nil {

@@ -1,0 +1,295 @@
+package core
+
+import "math"
+
+// Bucket-plan sizing: plans start small, double on full consumption
+// and halve on truncation, so the planned horizon tracks the length of
+// the run's census-frozen stretches.
+const (
+	batchPlanMin   = 8
+	batchPlanStart = 16
+	batchPlanMax   = 512
+)
+
+// bucketPlan is the batch engine's pre-drawn allocation of the next k
+// landings to the enabled (state-class, state-class, edge-state)
+// sub-buckets, valid while the census generation is unchanged.
+//
+// Law preservation (the full argument is in ARCHITECTURE.md): while no
+// sub-bucket weight changes, the landing buckets are iid
+// categorical(w/m). Drawing the counts c ~ Multinomial(k, w/m) once
+// and then consuming them in uniformly random order (an urn draw
+// proportional to the remaining counts per landing) produces exactly
+// that iid sequence — multinomial counts plus a uniform interleaving
+// are the de Finetti decomposition of k iid draws. The pair *within*
+// the chosen bucket is drawn from the bucket's current contents at
+// application time, identical to the sparse engine's second stage.
+// Truncating the plan at the first landing that changes some weight is
+// a stopping time of the sequence, so discarding the unapplied suffix
+// and re-planning from the new weights preserves the law exactly.
+type bucketPlan struct {
+	size      int64   // k for the next build (adaptive)
+	cells     []int32 // enabled sub-bucket keys: 2·classID + edgeBit
+	counts    []int64 // remaining planned landings per cell
+	weights   []int64 // scratch for the multinomial draw
+	remaining int64
+	gen       uint64 // census generation the plan was drawn against
+}
+
+// build draws a fresh plan against the index's current weights.
+func (pl *bucketPlan) build(ix *batchIndex, rng *RNG) {
+	pl.cells = pl.cells[:0]
+	pl.weights = pl.weights[:0]
+	for a := 0; a < ix.q; a++ {
+		for b := a; b < ix.q; b++ {
+			id := a*ix.q + b
+			if w := ix.w[2*id]; w > 0 {
+				pl.cells = append(pl.cells, int32(2*id))
+				pl.weights = append(pl.weights, w)
+			}
+			if w := ix.w[2*id+1]; w > 0 {
+				pl.cells = append(pl.cells, int32(2*id+1))
+				pl.weights = append(pl.weights, w)
+			}
+		}
+	}
+	pl.counts = rng.MultinomialBuckets(pl.size, pl.weights, pl.counts)
+	pl.remaining = pl.size
+	pl.gen = ix.gen
+}
+
+// drawCell consumes one planned landing and returns its sub-bucket
+// key: an urn draw over the remaining counts (skipped when a single
+// sub-bucket is enabled — the common case in census-frozen phases).
+// The member within the bucket is the caller's to draw, from the
+// bucket's current contents at application time.
+func (pl *bucketPlan) drawCell(rng *RNG) int32 {
+	idx := 0
+	if len(pl.cells) > 1 {
+		t := rng.Int64N(pl.remaining)
+		for t >= pl.counts[idx] {
+			t -= pl.counts[idx]
+			idx++
+		}
+	}
+	pl.counts[idx]--
+	pl.remaining--
+	return pl.cells[idx]
+}
+
+// runBatch is the batch engine. In its pure form it runs batchLoop
+// over a batchIndex: geometric skips between landings as the sparse
+// engine, but consecutive landings inside a census-frozen stretch are
+// allocated to class sub-buckets by one multivariate draw instead of
+// per-landing index walks, deterministic-swap landings run a
+// specialized kernel, and the index maintenance itself is leaner (see
+// batchIndex).
+//
+// Two conditions switch the whole run to exact per-landing stepping —
+// literally runIndexed over a ClassIndex, bit-identical to
+// EngineSparse: an attached EventSink, Observer, or fault Injector
+// (those consumers observe individual landings, which the pure path
+// does not reproduce draw-for-draw), and a protocol with no
+// census-preserving outcome (Protocol.Batchable — such runs could
+// never hold a plan, so the exact path costs nothing and keeps every
+// census-changing transition bit-identical to the sparse engine).
+// Result.Engine still reports EngineBatch and
+// Metrics.ExactFallbackLandings counts every landing as exact-stepped.
+func runBatch(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, interval int64, rng *RNG) (Result, error) {
+	exact := opts.Events != nil || opts.Observer != nil || opts.Injector != nil || !p.Batchable()
+	if exact {
+		var ix *ClassIndex
+		if ws := opts.Workspace; ws != nil {
+			ix = ws.classIndex(cfg)
+		} else {
+			ix = NewClassIndex(cfg)
+		}
+		res, err := runIndexed(p, cfg, det, opts, maxSteps, interval, rng, ix, EngineBatch)
+		res.Metrics.IndexBuilds = 1
+		res.Metrics.ExactFallbackLandings = res.Metrics.Landings
+		return res, err
+	}
+	var ix *batchIndex
+	if ws := opts.Workspace; ws != nil {
+		ix = ws.batchIndex(cfg)
+	} else {
+		ix = newBatchIndex(cfg)
+	}
+	res := batchLoop(p, cfg, det, opts, maxSteps, interval, rng, ix)
+	res.Metrics.IndexBuilds = 1
+	res.Metrics.SampleRejections, res.Metrics.SampleFallbacks = ix.rejections, ix.fallbacks
+	return res, nil
+}
+
+// batchLoop mirrors indexedLoop's skip/landing/detector structure (no
+// events, observer, or injector can be attached here — runBatch routed
+// those to the exact path), with three changes to the landing itself:
+//
+//   - a landing inside a valid plan consumes a planned sub-bucket
+//     (Metrics.BucketDraws); a landing right after a census-preserving
+//     landing builds a fresh plan first; any other landing draws
+//     through the index directly;
+//   - a planned landing on a deterministic-swap edge class skips the
+//     rule lookup, the orientation coin and the edge-store reads
+//     entirely: the two endpoint states are exchanged in place and the
+//     index patched by applySwap (a swap is orientation-symmetric and
+//     its compiled entry consumes no coins, so the kernel is the law
+//     of Config.Apply with the arithmetic removed);
+//   - the geometric gaps draw through GeometricExp — same law as the
+//     sparse engine's GeometricLn from a cheaper primitive.
+//
+// The loop therefore makes no bit-identity promise against
+// EngineSparse; runs that need one are routed to the exact path by
+// runBatch. What it promises is the exact law: every draw is an
+// exact-distribution transformation of the uniform-scheduler process.
+func batchLoop(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, interval int64, rng *RNG, ix *batchIndex) Result {
+	n := cfg.n
+	res := Result{Final: cfg, Engine: EngineBatch}
+	total := float64(n) * float64(n-1) / 2
+
+	stable := func() bool {
+		res.Metrics.DetectorChecks++
+		switch det.Gate {
+		case GateQuiescence:
+			return ix.enabled == 0
+		case GateEdgeQuiescence:
+			return ix.edgeEnabled == 0
+		default:
+			return det.Stable(cfg)
+		}
+	}
+	if stable() {
+		res.Converged = true
+		return res
+	}
+
+	memoM := int64(-1)
+	var memoInv float64
+	plan := &ix.plan
+	plan.size = batchPlanStart
+	plan.remaining = 0
+	planEligible := false
+
+	var step int64
+	for step < maxSteps {
+		if opts.Stop != nil && opts.Stop() {
+			res.Stopped = true
+			res.Steps = step
+			return res
+		}
+
+		land := maxSteps + 1
+		if m := ix.enabled; m > 0 {
+			var skip int64
+			if fm := float64(m); fm >= total {
+				skip = 0
+			} else {
+				if m != memoM {
+					memoM = m
+					memoInv = -1 / math.Log1p(-fm/total)
+				}
+				skip = rng.GeometricExp(memoInv)
+			}
+			if skip < maxSteps-step {
+				land = step + skip + 1
+			}
+		}
+
+		if det.Trigger == TriggerInterval {
+			if s := nextCheck(step, interval); s <= maxSteps && s < land && stable() {
+				skipRange(&res, nil, nil, step, s)
+				res.Converged = true
+				res.Steps = s
+				return res
+			}
+		}
+		if land > maxSteps {
+			skipRange(&res, nil, nil, step, maxSteps)
+			res.Steps = maxSteps
+			return res
+		}
+
+		skipRange(&res, nil, nil, step, land-1)
+		step = land
+		res.Metrics.Landings++
+		genBefore := ix.gen
+		var u, v int
+		var effective, edgeChanged bool
+		cell := int32(-1)
+		switch {
+		case plan.remaining > 0 && plan.gen == ix.gen:
+			cell = plan.drawCell(rng)
+		case planEligible:
+			plan.build(ix, rng)
+			cell = plan.drawCell(rng)
+		}
+		kernel := false
+		if cell >= 0 {
+			res.Metrics.BucketDraws++
+			id := int(cell >> 1)
+			if cell&1 == 1 {
+				list := ix.edgeList[id]
+				key := list[rng.IntN(len(list))]
+				u, v = int(key>>32), int(key&0xffffffff)
+				kernel = ix.swapCell[id]
+				if !kernel {
+					u, v = orient(u, v, rng)
+				}
+			} else {
+				u, v = ix.sampleNonEdge(id/ix.q, id%ix.q, rng)
+			}
+		} else {
+			u, v = ix.Sample(rng)
+		}
+		if kernel {
+			beforeU, beforeV := cfg.nodes[u], cfg.nodes[v]
+			cfg.nodes[u], cfg.nodes[v] = beforeV, beforeU
+			ix.applySwap(u, v, beforeU, beforeV)
+			recordEffective(&res, p, cfg, nil, nil, nil, step, u, v, beforeU, beforeV, false)
+			effective = true
+		} else {
+			beforeU, beforeV := cfg.nodes[u], cfg.nodes[v]
+			effective, edgeChanged = cfg.Apply(u, v, rng)
+			if effective {
+				ix.Update(u, v, beforeU, beforeV, edgeChanged)
+				recordEffective(&res, p, cfg, nil, nil, nil, step, u, v, beforeU, beforeV, edgeChanged)
+			}
+		}
+		if ix.gen != genBefore {
+			// Census moved: truncate any outstanding plan (the discarded
+			// suffix is exchangeable — dropping it at a stopping time
+			// preserves the law) and shrink the horizon.
+			if plan.remaining > 0 {
+				plan.remaining = 0
+				if plan.size > batchPlanMin {
+					plan.size /= 2
+				}
+			}
+			planEligible = false
+		} else {
+			if cell >= 0 && plan.remaining == 0 && plan.size < batchPlanMax {
+				plan.size *= 2
+			}
+			planEligible = true
+		}
+
+		check := false
+		switch det.Trigger {
+		case TriggerEffective:
+			check = effective
+		case TriggerEdge:
+			check = edgeChanged
+		case TriggerInterval:
+			check = step%interval == 0
+		default:
+			check = effective
+		}
+		if check && stable() {
+			res.Converged = true
+			res.Steps = step
+			return res
+		}
+	}
+	res.Steps = maxSteps
+	return res
+}

@@ -1,0 +1,533 @@
+package core
+
+// batchIndex is the batch engine's census index. It maintains the same
+// decomposition as ClassIndex — per-state node lists, per-class
+// active-edge counts, and the cached enabled / edge-enabled weight of
+// every (state-class, edge-bit) sub-bucket — but restructures the
+// bookkeeping around what the batch engine actually reads:
+//
+//   - a census *generation* counter (gen) that bumps exactly when some
+//     cached sub-bucket weight changes value, so the engine can detect
+//     "the landing law is unchanged" in O(1) and keep a bucket plan
+//     alive across landings (see batch.go);
+//   - edge *lists* only for the classes the sampler can ever draw an
+//     edge from (mask bit effEdge — for Simple-Global-Line that is the
+//     handful of walker/leader classes, a few edges each, while the
+//     huge inert {q₂,q₂} bulk keeps only a counter). The edge-slot
+//     hash map of ClassIndex is replaced by a per-node adjacency
+//     mirror holding (class, slot) for listed-class edges only, so the
+//     mirror stays tiny and cache-resident;
+//   - the protocol's four effectiveness bits per class are cached in
+//     effMask, and touch[s] lists the classes containing state s whose
+//     mask is nonzero — the only classes whose weights can move when
+//     the population count of s changes. Classes no rule ever touches
+//     are never reweighed;
+//   - reweighs are deferred and deduplicated per landing (dirty list
+//     with a stamp array), so each affected class is recomputed once
+//     from final counts. That matters for gen: a landing that shuffles
+//     weight through a class and back (the Simple-Global-Line walker
+//     swap moves one active edge out of class {q₂, w} and another in)
+//     must not bump gen on the transient;
+//   - swapCell marks the edge classes whose rule is a deterministic
+//     state swap — the walker-walk workhorse — for which batchLoop
+//     runs a specialized kernel (no rule lookup, no store access, no
+//     coins) through applySwap.
+//
+// Like ClassIndex it is bound to its Config, must be notified after
+// every effective interaction, and is not safe for concurrent use.
+// Unlike ClassIndex it serves only the batch engine's pure path, which
+// never carries an event sink, observer or fault injector — runs that
+// need those go through the exact ClassIndex path (see runBatch).
+type batchIndex struct {
+	cfg   *Config
+	proto *Protocol
+	q     int
+
+	// sp is cfg.store when it is the sparse adjacency store (always at
+	// batch-engine populations) — the swap kernel iterates its rows in
+	// place instead of copying neighbors out.
+	sp *sparseStore
+
+	byState [][]int32
+	slot    []int32
+
+	edgeCount []int64
+	edgeList  [][]uint64
+	mirror    [][]mirrorEntry
+
+	w, we       []int64
+	enabled     int64
+	edgeEnabled int64
+
+	effMask  []uint8
+	listed   []bool
+	swapCell []bool
+	touch    [][]int32
+
+	gen uint64
+
+	dirty      []int32
+	dirtyStamp []uint64
+	stamp      uint64
+
+	nbuf []int
+
+	// plan is the engine's bucket-plan scratch; it lives here (rather
+	// than on batchLoop's stack) so its backing arrays survive
+	// workspace reuse and steady-state campaign trials stay
+	// allocation-free.
+	plan bucketPlan
+
+	rejections int64
+	fallbacks  int64
+}
+
+// mirrorEntry records one listed-class active edge incident to the
+// node owning the slice: the other endpoint and the edge's position in
+// its class bucket. Entries live at the lower-id endpoint only.
+type mirrorEntry struct {
+	other int32
+	class int32
+	slot  int32
+}
+
+// effMask bit layout: EffectiveOn(a, b, edge) and
+// EdgeEffectiveOn(a, b, edge) for edge ∈ {0, 1}.
+const (
+	effNonEdge     = 1 << 0
+	effEdge        = 1 << 1
+	effEdgeNonEdge = 1 << 2
+	effEdgeEdge    = 1 << 3
+)
+
+func newBatchIndex(cfg *Config) *batchIndex {
+	bi := &batchIndex{}
+	bi.reset(cfg)
+	return bi
+}
+
+// reset rebinds the index to cfg and rebuilds it in place, reusing
+// every backing array that fits — the workspace path's
+// allocation-free fresh build, mirroring ClassIndex.reset.
+func (bi *batchIndex) reset(cfg *Config) {
+	n := cfg.n
+	if n > maxSparseNodes {
+		panic("core: batchIndex supports populations up to maxSparseNodes")
+	}
+	q := cfg.proto.Size()
+	bi.cfg = cfg
+	bi.sp, _ = cfg.store.(*sparseStore)
+	if bi.q != q {
+		bi.q = q
+		bi.byState = make([][]int32, q)
+		bi.edgeCount = make([]int64, q*q)
+		bi.edgeList = make([][]uint64, q*q)
+		bi.w = make([]int64, 2*q*q)
+		bi.we = make([]int64, 2*q*q)
+		bi.effMask = make([]uint8, q*q)
+		bi.listed = make([]bool, q*q)
+		bi.swapCell = make([]bool, q*q)
+		bi.touch = make([][]int32, q)
+		bi.dirtyStamp = make([]uint64, q*q)
+		bi.proto = nil
+	} else {
+		for i := range bi.byState {
+			bi.byState[i] = bi.byState[i][:0]
+		}
+		for i := range bi.edgeList {
+			bi.edgeCount[i] = 0
+			bi.edgeList[i] = bi.edgeList[i][:0]
+		}
+		for i := range bi.w {
+			bi.w[i] = 0
+			bi.we[i] = 0
+		}
+		for i := range bi.dirtyStamp {
+			bi.dirtyStamp[i] = 0
+		}
+	}
+	if bi.proto != cfg.proto {
+		bi.proto = cfg.proto
+		bi.rebuildMasks()
+	}
+	if cap(bi.slot) < n {
+		bi.slot = make([]int32, n)
+	} else {
+		bi.slot = bi.slot[:n]
+	}
+	if cap(bi.mirror) < n {
+		bi.mirror = make([][]mirrorEntry, n)
+	} else {
+		bi.mirror = bi.mirror[:n]
+		for i := range bi.mirror {
+			bi.mirror[i] = bi.mirror[i][:0]
+		}
+	}
+	bi.enabled, bi.edgeEnabled = 0, 0
+	bi.rejections, bi.fallbacks = 0, 0
+	bi.gen, bi.stamp = 0, 0
+	bi.dirty = bi.dirty[:0]
+
+	for u, s := range cfg.nodes {
+		bi.slot[u] = int32(len(bi.byState[s]))
+		bi.byState[s] = append(bi.byState[s], int32(u))
+	}
+	cfg.store.forEach(func(u, v int) {
+		bi.addEdge(u, v, bi.classID(cfg.nodes[u], cfg.nodes[v]))
+	})
+	for a := 0; a < q; a++ {
+		for b := a; b < q; b++ {
+			bi.reweigh(a, b)
+		}
+	}
+	// The build's reweighs bump gen; a fresh index starts a fresh
+	// census history.
+	bi.gen = 0
+}
+
+// rebuildMasks caches the protocol's effectiveness bits, the listed
+// and swap-kernel class sets, and the per-state touch lists.
+func (bi *batchIndex) rebuildMasks() {
+	p := bi.proto
+	q := bi.q
+	for a := 0; a < q; a++ {
+		bi.touch[a] = bi.touch[a][:0]
+	}
+	for a := 0; a < q; a++ {
+		for b := a; b < q; b++ {
+			id := a*q + b
+			var m uint8
+			if p.EffectiveOn(State(a), State(b), false) {
+				m |= effNonEdge
+			}
+			if p.EffectiveOn(State(a), State(b), true) {
+				m |= effEdge
+			}
+			if p.EdgeEffectiveOn(State(a), State(b), false) {
+				m |= effEdgeNonEdge
+			}
+			if p.EdgeEffectiveOn(State(a), State(b), true) {
+				m |= effEdgeEdge
+			}
+			bi.effMask[id] = m
+			bi.listed[id] = m&effEdge != 0
+			e := p.lookup(State(a), State(b), true)
+			bi.swapCell[id] = a != b && e.effective && !e.alt &&
+				e.outA == State(b) && e.outB == State(a) && e.outEdge
+			if m != 0 {
+				bi.touch[a] = append(bi.touch[a], int32(id))
+				if b != a {
+					bi.touch[b] = append(bi.touch[b], int32(id))
+				}
+			}
+		}
+	}
+}
+
+func (bi *batchIndex) classID(a, b State) int {
+	if a > b {
+		a, b = b, a
+	}
+	return int(a)*bi.q + int(b)
+}
+
+// addEdge and dropEdge keep the per-class edge counts for the classes
+// some rule reads (effMask ≠ 0 — the only counts reweigh and
+// sampleNonEdge consume) and the edge list (plus its mirror entry) for
+// listed classes only. Classes outside both sets — the inert bulk —
+// cost nothing to move edges through.
+
+func (bi *batchIndex) addEdge(u, v, id int) {
+	if bi.effMask[id] == 0 {
+		return
+	}
+	bi.edgeCount[id]++
+	if !bi.listed[id] {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	bi.mirror[u] = append(bi.mirror[u], mirrorEntry{
+		other: int32(v), class: int32(id), slot: int32(len(bi.edgeList[id]))})
+	bi.edgeList[id] = append(bi.edgeList[id], uint64(u)<<32|uint64(v))
+}
+
+func (bi *batchIndex) dropEdge(u, v, id int) {
+	if bi.effMask[id] == 0 {
+		return
+	}
+	bi.edgeCount[id]--
+	if !bi.listed[id] {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	m := bi.mirror[u]
+	mi := 0
+	for m[mi].other != int32(v) {
+		mi++
+	}
+	slot := m[mi].slot
+	list := bi.edgeList[id]
+	lastIdx := len(list) - 1
+	if int(slot) != lastIdx {
+		last := list[lastIdx]
+		list[slot] = last
+		// Fix the displaced edge's mirror entry.
+		lu := int(last >> 32)
+		lv := int32(last & 0xffffffff)
+		mm := bi.mirror[lu]
+		for j := range mm {
+			if mm[j].other == lv {
+				mm[j].slot = slot
+				break
+			}
+		}
+	}
+	bi.edgeList[id] = list[:lastIdx]
+	m[mi] = m[len(m)-1]
+	bi.mirror[u] = m[:len(m)-1]
+}
+
+func (bi *batchIndex) moveEdge(u, v, fromID, toID int) {
+	if fromID == toID {
+		return
+	}
+	bi.dropEdge(u, v, fromID)
+	bi.addEdge(u, v, toID)
+	bi.markDirty(fromID)
+	bi.markDirty(toID)
+}
+
+func (bi *batchIndex) moveNode(u int, from, to State) {
+	list := bi.byState[from]
+	s := bi.slot[u]
+	last := list[len(list)-1]
+	list[s] = last
+	bi.slot[last] = s
+	bi.byState[from] = list[:len(list)-1]
+	bi.slot[u] = int32(len(bi.byState[to]))
+	bi.byState[to] = append(bi.byState[to], int32(u))
+}
+
+// reweigh recomputes one class's cached weights from the current
+// counts and edge buckets, folding deltas into the totals and bumping
+// gen iff some cached value actually changed. Idempotent.
+func (bi *batchIndex) reweigh(a, b int) {
+	id := a*bi.q + b
+	mask := bi.effMask[id]
+	var pairs int64
+	if a == b {
+		k := int64(bi.cfg.counts[a])
+		pairs = k * (k - 1) / 2
+	} else {
+		pairs = int64(bi.cfg.counts[a]) * int64(bi.cfg.counts[b])
+	}
+	act := bi.edgeCount[id]
+	non := pairs - act
+	var w0, w1, we0, we1 int64
+	if mask&effNonEdge != 0 {
+		w0 = non
+	}
+	if mask&effEdge != 0 {
+		w1 = act
+	}
+	if mask&effEdgeNonEdge != 0 {
+		we0 = non
+	}
+	if mask&effEdgeEdge != 0 {
+		we1 = act
+	}
+	if w0 != bi.w[2*id] || w1 != bi.w[2*id+1] || we0 != bi.we[2*id] || we1 != bi.we[2*id+1] {
+		bi.gen++
+		bi.enabled += w0 + w1 - bi.w[2*id] - bi.w[2*id+1]
+		bi.w[2*id], bi.w[2*id+1] = w0, w1
+		bi.edgeEnabled += we0 + we1 - bi.we[2*id] - bi.we[2*id+1]
+		bi.we[2*id], bi.we[2*id+1] = we0, we1
+	}
+}
+
+// markDirty queues a class for the end-of-update reweigh, skipping
+// classes no rule can enable (their weights are identically zero).
+func (bi *batchIndex) markDirty(id int) {
+	if bi.effMask[id] == 0 {
+		return
+	}
+	if bi.dirtyStamp[id] == bi.stamp {
+		return
+	}
+	bi.dirtyStamp[id] = bi.stamp
+	bi.dirty = append(bi.dirty, int32(id))
+}
+
+// markState queues every class containing s that some rule touches.
+func (bi *batchIndex) markState(s State) {
+	for _, id := range bi.touch[s] {
+		bi.markDirty(int(id))
+	}
+}
+
+func (bi *batchIndex) flushDirty() {
+	for _, id := range bi.dirty {
+		bi.reweigh(int(id)/bi.q, int(id)%bi.q)
+	}
+	bi.dirty = bi.dirty[:0]
+}
+
+// Update refreshes the index after an interaction was applied to
+// {u, v} — the batchIndex counterpart of ClassIndex.Update: the same
+// node and edge moves, but reweighing only the classes whose weights
+// can actually have moved, once, from final counts. A pure state swap
+// (afterU = beforeV, afterV = beforeU, no edge change) leaves every
+// population count unchanged, so only the classes of reclassified
+// incident edges are touched.
+func (bi *batchIndex) Update(u, v int, beforeU, beforeV State, edgeChanged bool) {
+	cfg := bi.cfg
+	afterU, afterV := cfg.nodes[u], cfg.nodes[v]
+	edgeNow := cfg.store.get(u, v)
+	edgeBefore := edgeNow
+	if edgeChanged {
+		edgeBefore = !edgeNow
+	}
+	bi.stamp++
+
+	if afterU != beforeU {
+		bi.moveNode(u, beforeU, afterU)
+		bi.reclassifyIncident(u, v, beforeU, afterU)
+	}
+	if afterV != beforeV {
+		bi.moveNode(v, beforeV, afterV)
+		bi.reclassifyIncident(v, u, beforeV, afterV)
+	}
+	switch {
+	case edgeBefore && edgeNow:
+		bi.moveEdge(u, v, bi.classID(beforeU, beforeV), bi.classID(afterU, afterV))
+	case edgeBefore && !edgeNow:
+		id := bi.classID(beforeU, beforeV)
+		bi.dropEdge(u, v, id)
+		bi.markDirty(id)
+	case !edgeBefore && edgeNow:
+		id := bi.classID(afterU, afterV)
+		bi.addEdge(u, v, id)
+		bi.markDirty(id)
+	}
+
+	switch {
+	case afterU == beforeU && afterV == beforeV:
+		// Edge-only transition: only the pair's own class can move.
+		bi.markDirty(bi.classID(afterU, afterV))
+	case afterU == beforeV && afterV == beforeU:
+		// Pure swap: population counts unchanged; the edge moves above
+		// already marked every class whose A changed.
+	default:
+		bi.markState(beforeU)
+		if afterU != beforeU {
+			bi.markState(afterU)
+		}
+		bi.markState(beforeV)
+		if afterV != beforeV {
+			bi.markState(afterV)
+		}
+	}
+	bi.flushDirty()
+}
+
+// applySwap is the index side of batchLoop's swap kernel: the caller
+// has already swapped nodes[u] and nodes[v] (their pre-swap states
+// beforeU ≠ beforeV), nothing else changed. u and v exchange their
+// byState slots in place, incident edges reclassify, and only the
+// classes whose edge counts moved are reweighed.
+func (bi *batchIndex) applySwap(u, v int, beforeU, beforeV State) {
+	bi.byState[beforeU][bi.slot[u]] = int32(v)
+	bi.byState[beforeV][bi.slot[v]] = int32(u)
+	bi.slot[u], bi.slot[v] = bi.slot[v], bi.slot[u]
+	bi.stamp++
+
+	bi.reclassifyIncident(u, v, beforeU, beforeV)
+	bi.reclassifyIncident(v, u, beforeV, beforeU)
+	// The {u, v} edge's own class is the unordered pair {beforeU,
+	// beforeV}, unchanged by the swap.
+	bi.flushDirty()
+}
+
+// reclassifyIncident moves every active edge incident to u except
+// {u, v} from class {before, sx} to class {after, sx} — the
+// state-change fixup shared by Update and applySwap. On the sparse
+// store it walks the adjacency row in place.
+func (bi *batchIndex) reclassifyIncident(u, v int, before, after State) {
+	cfg := bi.cfg
+	if bi.sp != nil {
+		// Hot path: hoisted classID arithmetic and a fused mask check
+		// so moves through the inert bulk (neither class read by any
+		// rule) cost one masked load per neighbor.
+		nodes := cfg.nodes
+		effMask := bi.effMask
+		q := bi.q
+		rb, ra := int(before)*q, int(after)*q
+		for _, x32 := range bi.sp.adj[u] {
+			x := int(x32)
+			if x == v {
+				continue
+			}
+			sx := int(nodes[x])
+			var from, to int
+			if sx >= int(before) {
+				from = rb + sx
+			} else {
+				from = sx*q + int(before)
+			}
+			if sx >= int(after) {
+				to = ra + sx
+			} else {
+				to = sx*q + int(after)
+			}
+			if effMask[from]|effMask[to] == 0 {
+				continue
+			}
+			bi.dropEdge(u, x, from)
+			bi.addEdge(u, x, to)
+			bi.markDirty(from)
+			bi.markDirty(to)
+		}
+		return
+	}
+	bi.nbuf = cfg.store.neighbors(u, bi.nbuf[:0])
+	for _, x := range bi.nbuf {
+		if x == v {
+			continue
+		}
+		sx := cfg.nodes[x]
+		bi.moveEdge(u, x, bi.classID(before, sx), bi.classID(after, sx))
+	}
+}
+
+// Sample returns a uniformly random enabled pair in random
+// orientation — the same two-stage class draw as ClassIndex.Sample,
+// over the same weights.
+func (bi *batchIndex) Sample(rng *RNG) (u, v int) {
+	r := rng.Int64N(bi.enabled)
+	for a := 0; a < bi.q; a++ {
+		for b := a; b < bi.q; b++ {
+			id := a*bi.q + b
+			if w := bi.w[2*id]; r < w {
+				return bi.sampleNonEdge(a, b, rng)
+			} else {
+				r -= w
+			}
+			if w := bi.w[2*id+1]; r < w {
+				key := bi.edgeList[id][rng.IntN(len(bi.edgeList[id]))]
+				return orient(int(key>>32), int(key&0xffffffff), rng)
+			} else {
+				r -= w
+			}
+		}
+	}
+	panic("core: batchIndex class weights inconsistent with total")
+}
+
+func (bi *batchIndex) sampleNonEdge(a, b int, rng *RNG) (int, int) {
+	return sampleNonEdgeClass(bi.cfg, bi.byState[a], bi.byState[b], a == b,
+		bi.edgeCount[a*bi.q+b], rng, &bi.rejections, &bi.fallbacks)
+}

@@ -394,12 +394,20 @@ func (ci *ClassIndex) Sample(rng *RNG) (u, v int) {
 // is O(P(a,b)) = O(A/(1−acceptance)) and A is bounded by the total
 // edge count, so the amortized cost stays O(m)-bounded.
 func (ci *ClassIndex) sampleNonEdge(a, b int, rng *RNG) (int, int) {
-	cfg := ci.cfg
-	la, lb := ci.byState[a], ci.byState[b]
+	return sampleNonEdgeClass(ci.cfg, ci.byState[a], ci.byState[b], a == b,
+		ci.edgeCount[a*ci.q+b], rng, &ci.rejections, &ci.fallbacks)
+}
+
+// sampleNonEdgeClass is the class-internal non-edge draw shared by
+// ClassIndex and the batch engine's index, so the two consume the RNG
+// stream identically by construction. la and lb are the node lists of
+// the class's two states (the same list when diag is true); active is
+// the class's active-edge count, needed only by the exact fallback.
+func sampleNonEdgeClass(cfg *Config, la, lb []int32, diag bool, active int64, rng *RNG, rejections, fallbacks *int64) (int, int) {
 	const tries = 64
 	for t := 0; t < tries; t++ {
 		var u, v int
-		if a == b {
+		if diag {
 			i := rng.IntN(len(la))
 			j := rng.IntN(len(la) - 1)
 			if j >= i {
@@ -413,20 +421,19 @@ func (ci *ClassIndex) sampleNonEdge(a, b int, rng *RNG) (int, int) {
 		if !cfg.store.get(u, v) {
 			return orient(u, v, rng)
 		}
-		ci.rejections++
+		*rejections++
 	}
 	// Exact fallback: pick the t-th non-edge of the class.
-	ci.fallbacks++
-	id := a*ci.q + b
+	*fallbacks++
 	var pairs int64
-	if a == b {
+	if diag {
 		k := int64(len(la))
 		pairs = k * (k - 1) / 2
 	} else {
 		pairs = int64(len(la)) * int64(len(lb))
 	}
-	t := rng.Int64N(pairs - ci.edgeCount[id])
-	if a == b {
+	t := rng.Int64N(pairs - active)
+	if diag {
 		for i := 0; i < len(la); i++ {
 			for j := i + 1; j < len(la); j++ {
 				u, v := int(la[i]), int(la[j])
@@ -453,7 +460,7 @@ func (ci *ClassIndex) sampleNonEdge(a, b int, rng *RNG) (int, int) {
 			}
 		}
 	}
-	panic("core: ClassIndex non-edge count inconsistent with class")
+	panic("core: class non-edge count inconsistent with class weights")
 }
 
 // orient returns the pair in uniformly random orientation.

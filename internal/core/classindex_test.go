@@ -245,18 +245,31 @@ func TestSparseEngineValidation(t *testing.T) {
 	if _, err := Run(p, maxSparseNodes+1, Options{Engine: EngineSparse, MaxSteps: 1}); err == nil {
 		t.Fatal("sparse engine accepted a population above its cap")
 	}
-	// Auto picks sparse right above the fast-path boundary.
+	// Auto picks batch right above the fast-path boundary…
 	res, err := Run(p, maxAutoIndexNodes+1, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Engine != EngineSparse {
-		t.Fatalf("auto above maxAutoIndexNodes ran on %v, want sparse", res.Engine)
+	if res.Engine != EngineBatch {
+		t.Fatalf("auto above maxAutoIndexNodes ran on %v, want batch", res.Engine)
 	}
 	if !res.Converged {
 		t.Fatalf("epidemic did not converge: %+v", res)
 	}
+	// …but keeps exact-stepping runs on the sparse engine they are
+	// bit-identical to: an attached observer forces it.
+	res, err = Run(p, maxAutoIndexNodes+1, Options{Seed: 1, Observer: nopObserver{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine != EngineSparse {
+		t.Fatalf("auto with an observer ran on %v, want sparse", res.Engine)
+	}
 }
+
+type nopObserver struct{}
+
+func (nopObserver) ObserveStep(int64, int, int, bool, *Config) {}
 
 // TestParseEngineSparse covers the flag/spec name round-trip.
 func TestParseEngineSparse(t *testing.T) {

@@ -288,12 +288,21 @@ func Run(p *Protocol, n int, opts Options) (Result, error) {
 		case n <= maxAutoIndexNodes:
 			engine = EngineFast
 		case n <= maxSparseNodes:
-			engine = EngineSparse
+			// Above the fast threshold the batch engine is strictly
+			// faster when it can run its pure path; with a sink,
+			// observer or injector attached it would exact-step anyway,
+			// so auto keeps those runs on the sparse engine they are
+			// bit-identical to.
+			if opts.Events == nil && opts.Observer == nil && opts.Injector == nil {
+				engine = EngineBatch
+			} else {
+				engine = EngineSparse
+			}
 		default:
 			engine = EngineBaseline
 		}
 	case EngineBaseline:
-	case EngineFast, EngineSparse:
+	case EngineFast, EngineSparse, EngineBatch:
 		if !uniformSchedule(sched) {
 			return Result{}, fmt.Errorf("core: the %s engine requires the uniform scheduler, not %q", engine, sched.Name())
 		}
@@ -347,6 +356,8 @@ func Run(p *Protocol, n int, opts Options) (Result, error) {
 			res, err = runFast(p, cfg, det, opts, maxSteps, interval, rng)
 		case EngineSparse:
 			res, err = runSparse(p, cfg, det, opts, maxSteps, interval, rng)
+		case EngineBatch:
+			res, err = runBatch(p, cfg, det, opts, maxSteps, interval, rng)
 		default:
 			res, err = runBaseline(p, cfg, det, opts, sched, maxSteps, interval, rng)
 		}

@@ -29,6 +29,13 @@ const (
 	// per-step cost scale with n + m instead of n²; Run errors if the
 	// configured scheduler is not uniform.
 	EngineSparse
+	// EngineBatch forces the batch engine: the sparse engine's census
+	// decomposition plus multivariate bucket plans over census-frozen
+	// stretches and a leaner index (see batch.go). Run errors if the
+	// configured scheduler is not uniform. With an EventSink, Observer
+	// or Injector attached it steps exactly, bit-identical to
+	// EngineSparse.
+	EngineBatch
 )
 
 // String returns the engine's flag/spec name.
@@ -42,13 +49,15 @@ func (e Engine) String() string {
 		return "fast"
 	case EngineSparse:
 		return "sparse"
+	case EngineBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("engine#%d", int(e))
 	}
 }
 
 // ParseEngine resolves a flag/spec name ("auto", "baseline", "fast",
-// "sparse"; "" means auto) to an Engine.
+// "sparse", "batch"; "" means auto) to an Engine.
 func ParseEngine(s string) (Engine, error) {
 	switch s {
 	case "", "auto":
@@ -59,8 +68,10 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineFast, nil
 	case "sparse":
 		return EngineSparse, nil
+	case "batch":
+		return EngineBatch, nil
 	default:
-		return EngineAuto, fmt.Errorf("core: unknown engine %q (known: auto, baseline, fast, sparse)", s)
+		return EngineAuto, fmt.Errorf("core: unknown engine %q (known: auto, baseline, fast, sparse, batch)", s)
 	}
 }
 
@@ -74,9 +85,9 @@ func (e Engine) ValidateN(n int) error {
 		if n >= maxIndexNodes {
 			return fmt.Errorf("core: the fast engine supports populations below %d, got %d", maxIndexNodes, n)
 		}
-	case EngineSparse:
+	case EngineSparse, EngineBatch:
 		if n > maxSparseNodes {
-			return fmt.Errorf("core: the sparse engine supports populations up to %d, got %d", maxSparseNodes, n)
+			return fmt.Errorf("core: the %s engine supports populations up to %d, got %d", e, maxSparseNodes, n)
 		}
 	}
 	return nil

@@ -43,6 +43,14 @@ type Metrics struct {
 	SampleRejections int64 `json:"sample_rejections,omitempty"`
 	SampleFallbacks  int64 `json:"sample_fallbacks,omitempty"`
 
+	// BucketDraws counts the landings the batch engine drew from a
+	// bucket plan (one multivariate allocation covering a census-frozen
+	// stretch); ExactFallbackLandings counts the landings it stepped
+	// exactly instead — every landing of the run when a sink, observer
+	// or injector forced the exact path. Zero on the other engines.
+	BucketDraws           int64 `json:"bucket_draws,omitempty"`
+	ExactFallbackLandings int64 `json:"exact_fallback_landings,omitempty"`
+
 	// WorkspaceResets counts the in-place component resets
 	// (configuration, index, RNG) the run's workspace performed instead
 	// of fresh allocations. Zero without Options.Workspace.

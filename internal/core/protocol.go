@@ -267,6 +267,37 @@ func (p *Protocol) Randomized() bool {
 	return false
 }
 
+// Batchable reports whether some interaction outcome of the protocol
+// can leave the state-class census unchanged: a deterministic state
+// swap across a preserved edge state ((a, b, e) → (b, a, e) with
+// a ≠ b — the random-walk workhorse of Simple-Global-Line), or any
+// probabilistic rule (whose coin may select an identity or
+// census-preserving branch). The batch engine can only amortize its
+// multivariate bucket plans across census-frozen stretches, and only
+// batchable protocols ever produce one — so runBatch steps
+// non-batchable protocols exactly, which keeps them bit-identical to
+// the sparse engine by construction.
+func (p *Protocol) Batchable() bool {
+	q := len(p.states)
+	for a := 0; a < q; a++ {
+		for b := a; b < q; b++ {
+			for _, edge := range []bool{false, true} {
+				e := p.lookup(State(a), State(b), edge)
+				if !e.effective {
+					continue
+				}
+				if e.alt {
+					return true
+				}
+				if a != b && e.outA == State(b) && e.outB == State(a) && e.outEdge == edge {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
 // lookup returns the compiled entry for the ordered triple.
 func (p *Protocol) lookup(a, b State, edge bool) entry {
 	return p.table[(int(a)*len(p.states)+int(b))*2+boolToInt(edge)]

@@ -80,6 +80,176 @@ func (r *RNG) GeometricLn(ln1mp float64) int64 {
 	return int64(k)
 }
 
+// GeometricExp returns a Geometric(p) variate from one exponential
+// draw: with Λ = −ln(1−p), ⌊Exp(1)/Λ⌋ is Geometric(p) exactly
+// (P(⌊E/Λ⌋ = k) = e^(−kΛ) − e^(−(k+1)Λ) = (1−p)ᵏ·p). The caller
+// passes invLambda = 1/Λ, memoized like GeometricLn's logarithm, so
+// the hot path is one ziggurat draw and one multiply — cheaper than
+// GeometricLn's log inversion. The variate consumes a different
+// primitive than GeometricLn, so the two methods produce different
+// streams of the same law; only the batch engine's pure path — which
+// carries no bit-identity obligation — uses this one.
+func (r *RNG) GeometricExp(invLambda float64) int64 {
+	k := r.src.ExpFloat64() * invLambda
+	if k >= float64(geometricClamp) {
+		return geometricClamp
+	}
+	return int64(k)
+}
+
+// Binomial returns the number of successes in n independent
+// Bernoulli(p) trials, by CDF inversion on a single uniform draw —
+// exact up to float64 rounding of the CDF, like GeometricLn. The walk
+// is O(n·min(p, 1−p)) expected, which is what the batch engine needs:
+// its plans draw Binomial(k, w/W) for plan sizes k of a few hundred.
+// Very large n·p splits the draw into independent halves so the
+// starting mass (1−p)ⁿ stays representable.
+func (r *RNG) Binomial(n int64, p float64) int64 {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if p > 0.5 {
+		return n - r.Binomial(n, 1-p)
+	}
+	if float64(n)*math.Log1p(-p) < -700 {
+		half := n / 2
+		return r.Binomial(half, p) + r.Binomial(n-half, p)
+	}
+	u := r.Float64()
+	q := 1 - p
+	pmf := math.Pow(q, float64(n))
+	cdf := pmf
+	ratio := p / q
+	var k int64
+	for u > cdf && k < n {
+		k++
+		pmf *= ratio * float64(n-k+1) / float64(k)
+		cdf += pmf
+	}
+	return k
+}
+
+// Hypergeometric returns how many of `draws` draws without
+// replacement, from a population of `total` items of which `marked`
+// are marked, hit marked items. CDF inversion like Binomial, with the
+// starting mass computed through lgamma; a starting mass below float64
+// range splits the draw into two rounds on the depleted urn, which is
+// exact by the urn decomposition. It must hold 0 ≤ marked ≤ total and
+// draws ≤ total.
+func (r *RNG) Hypergeometric(draws, marked, total int64) int64 {
+	if draws < 0 || marked < 0 || marked > total || draws > total {
+		panic("core: Hypergeometric requires 0 ≤ draws, marked ≤ total")
+	}
+	if draws == 0 || marked == 0 {
+		return 0
+	}
+	if draws == total {
+		return marked
+	}
+	if marked == total {
+		return draws
+	}
+	// Symmetries keep the inversion walk short: complementing the
+	// marks, and swapping the roles of the drawn and marked subsets
+	// (both exact identities of the distribution).
+	if marked > total-marked {
+		return draws - r.Hypergeometric(draws, total-marked, total)
+	}
+	if draws > marked {
+		return r.Hypergeometric(marked, draws, total)
+	}
+	// ln pmf(0) = ln C(total−marked, draws) − ln C(total, draws).
+	lp := lnChoose(total-marked, draws) - lnChoose(total, draws)
+	if lp < -700 {
+		half := draws / 2
+		k1 := r.Hypergeometric(half, marked, total)
+		return k1 + r.Hypergeometric(draws-half, marked-k1, total-half)
+	}
+	u := r.Float64()
+	pmf := math.Exp(lp)
+	cdf := pmf
+	maxK := draws
+	if marked < maxK {
+		maxK = marked
+	}
+	var k int64
+	for u > cdf && k < maxK {
+		pmf *= float64(marked-k) * float64(draws-k) /
+			(float64(k+1) * float64(total-marked-draws+k+1))
+		k++
+		cdf += pmf
+	}
+	return k
+}
+
+// lnChoose returns ln C(n, k) via lgamma.
+func lnChoose(n, k int64) float64 {
+	a, _ := math.Lgamma(float64(n + 1))
+	b, _ := math.Lgamma(float64(k + 1))
+	c, _ := math.Lgamma(float64(n - k + 1))
+	return a - b - c
+}
+
+// MultinomialBuckets distributes k categorical draws over buckets
+// proportionally to weights — the counts of a Multinomial(k, w/W)
+// vector, drawn by the conditional-binomial chain
+// c₁ ~ Bin(k, w₁/W), c₂ ~ Bin(k−c₁, w₂/(W−w₁)), … which is the exact
+// joint law. The result is appended to out (reset to length zero
+// first) so the batch engine's plans reuse one backing array. The
+// total weight must be positive when k > 0.
+func (r *RNG) MultinomialBuckets(k int64, weights []int64, out []int64) []int64 {
+	out = out[:0]
+	var totalW int64
+	for _, w := range weights {
+		totalW += w
+	}
+	if k > 0 && totalW <= 0 {
+		panic("core: MultinomialBuckets requires positive total weight")
+	}
+	rem := k
+	for _, w := range weights {
+		if rem == 0 || w == 0 {
+			out = append(out, 0)
+			totalW -= w
+			continue
+		}
+		c := r.Binomial(rem, float64(w)/float64(totalW))
+		out = append(out, c)
+		rem -= c
+		totalW -= w
+	}
+	return out
+}
+
+// HypergeometricBuckets distributes `draws` draws without replacement
+// over buckets with the given capacities — the counts of a
+// multivariate hypergeometric vector, drawn by the conditional chain
+// c₁ ~ Hyp(draws, cap₁, C), c₂ ~ Hyp(draws−c₁, cap₂, C−cap₁), …
+// Every count is bounded by its bucket's capacity and the counts sum
+// to draws exactly. The result is appended to out (reset to length
+// zero first). draws must not exceed the total capacity.
+func (r *RNG) HypergeometricBuckets(draws int64, capacities []int64, out []int64) []int64 {
+	out = out[:0]
+	var totalC int64
+	for _, c := range capacities {
+		totalC += c
+	}
+	if draws > totalC || draws < 0 {
+		panic("core: HypergeometricBuckets requires 0 ≤ draws ≤ total capacity")
+	}
+	rem := draws
+	for _, capi := range capacities {
+		c := r.Hypergeometric(rem, capi, totalC)
+		out = append(out, c)
+		rem -= c
+		totalC -= capi
+	}
+	return out
+}
+
 // Pair returns a uniform unordered pair {u, v}, u ≠ v, over n nodes —
 // the uniform random scheduler's single draw.
 func (r *RNG) Pair(n int) (u, v int) {

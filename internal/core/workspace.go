@@ -27,6 +27,7 @@ type Workspace struct {
 	cfg   *Config
 	pair  *PairIndex
 	class *ClassIndex
+	batch *batchIndex
 	rng   *RNG
 
 	// resets counts the in-place component reuses (configuration
@@ -134,4 +135,17 @@ func (ws *Workspace) classIndex(cfg *Config) *ClassIndex {
 		ws.class.reset(cfg)
 	}
 	return ws.class
+}
+
+// batchIndex returns the workspace's batch-engine census index rebound
+// to cfg — the batch counterpart of classIndex, same O(n + m + |Q|²)
+// in-place rebuild, no snapshot.
+func (ws *Workspace) batchIndex(cfg *Config) *batchIndex {
+	if ws.batch == nil {
+		ws.batch = newBatchIndex(cfg)
+	} else {
+		ws.resets++
+		ws.batch.reset(cfg)
+	}
+	return ws.batch
 }

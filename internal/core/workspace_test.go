@@ -38,7 +38,7 @@ func keyOf(res Result) wsResultKey {
 func dirtyWorkspace(t *testing.T, ws *Workspace) {
 	t.Helper()
 	p := injProtocol()
-	for _, engine := range []Engine{EngineFast, EngineSparse, EngineBaseline} {
+	for _, engine := range []Engine{EngineFast, EngineSparse, EngineBatch, EngineBaseline} {
 		_, err := Run(p, 9, Options{
 			Seed:      99,
 			Engine:    engine,
@@ -94,7 +94,7 @@ func TestWorkspaceBitIdentical(t *testing.T) {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			t.Parallel()
-			for _, engine := range []Engine{EngineBaseline, EngineFast, EngineSparse} {
+			for _, engine := range []Engine{EngineBaseline, EngineFast, EngineSparse, EngineBatch} {
 				opts := Options{Seed: 7, Engine: engine, Detector: tc.det, MaxSteps: tc.maxSteps}
 				if tc.initial != nil {
 					opts.Initial = tc.initial(tc.proto, tc.n)
@@ -173,7 +173,7 @@ func TestWorkspaceFinalSurvivesAsNextInitial(t *testing.T) {
 func TestWorkspaceSteadyStateAllocs(t *testing.T) {
 	p, det := epidemicProtocol()
 	initial := seededInitial(p, 96)
-	for _, engine := range []Engine{EngineBaseline, EngineFast, EngineSparse} {
+	for _, engine := range []Engine{EngineBaseline, EngineFast, EngineSparse, EngineBatch} {
 		ws := NewWorkspace()
 		seed := uint64(1)
 		run := func() {

@@ -1,0 +1,203 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// This file holds the two-sample equivalence helpers behind the batch
+// engine's statistical test harness: a Kolmogorov–Smirnov distance
+// with its large-sample rejection threshold, and Pearson chi-square
+// statistics with fixed critical values. Everything is deterministic
+// and table-driven — no p-value integration — because the consumers
+// are tests that need a reproducible accept/reject decision, not an
+// inference report.
+
+// KSStatistic returns the two-sample Kolmogorov–Smirnov statistic
+// D = sup_x |F_a(x) − F_b(x)| between the empirical CDFs of the two
+// samples. The inputs are not modified. With heavily tied data
+// (integer observations such as convergence step counts) the statistic
+// is still well defined — both CDFs jump at the tied value before the
+// comparison — and the usual thresholds become conservative.
+func KSStatistic(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		panic("stats: KSStatistic requires non-empty samples")
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	na, nb := float64(len(as)), float64(len(bs))
+	var i, j int
+	var d float64
+	for i < len(as) && j < len(bs) {
+		// Advance every observation tied at the current value in both
+		// samples, then compare the CDFs to its right.
+		x := as[i]
+		if bs[j] < x {
+			x = bs[j]
+		}
+		for i < len(as) && as[i] == x {
+			i++
+		}
+		for j < len(bs) && bs[j] == x {
+			j++
+		}
+		if diff := math.Abs(float64(i)/na - float64(j)/nb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// KSThreshold returns the large-sample two-sample Kolmogorov–Smirnov
+// rejection threshold at significance level alpha:
+//
+//	c(α)·√((na+nb)/(na·nb)),  c(α) = √(−ln(α/2)/2)
+//
+// Reject equality of distributions when KSStatistic exceeds it. The
+// approximation is asymptotic (and conservative under ties), so
+// equivalence tests on discrete data should use a small alpha.
+func KSThreshold(na, nb int, alpha float64) float64 {
+	if na <= 0 || nb <= 0 {
+		panic("stats: KSThreshold requires positive sample sizes")
+	}
+	if alpha <= 0 || alpha >= 1 {
+		panic("stats: KSThreshold requires 0 < alpha < 1")
+	}
+	c := math.Sqrt(-math.Log(alpha/2) / 2)
+	fa, fb := float64(na), float64(nb)
+	return c * math.Sqrt((fa+fb)/(fa*fb))
+}
+
+// ChiSquareStat returns the Pearson goodness-of-fit statistic
+// Σ (observedᵢ − expectedᵢ)²/expectedᵢ. Every expected count must be
+// positive; the lengths must match. Compare against
+// ChiSquareCritical(len(observed)−1−p, alpha) where p is the number of
+// parameters estimated from the data (zero for a fully specified
+// model).
+func ChiSquareStat(observed []int64, expected []float64) float64 {
+	if len(observed) != len(expected) {
+		panic("stats: ChiSquareStat requires matching lengths")
+	}
+	var stat float64
+	for i, o := range observed {
+		e := expected[i]
+		if e <= 0 {
+			panic("stats: ChiSquareStat requires positive expected counts")
+		}
+		d := float64(o) - e
+		stat += d * d / e
+	}
+	return stat
+}
+
+// ChiSquareTwoSample returns the Pearson homogeneity statistic and its
+// degrees of freedom for two vectors of counts over the same bins
+// (the 2×k contingency test): under the null that both samples come
+// from the same distribution, the expected count of sample a in bin i
+// is na·(aᵢ+bᵢ)/(na+nb), and the statistic is asymptotically χ² with
+// k−1 degrees of freedom, k the number of bins after pooling.
+//
+// Bins whose combined count falls below 10 are pooled into the
+// following bin (the trailing remainder pools backward), keeping the
+// asymptotic approximation honest on sparse tails. It returns df = 0
+// when fewer than two pooled bins remain — no test is possible and the
+// caller should treat the samples as indistinguishable at this size.
+func ChiSquareTwoSample(a, b []int64) (stat float64, df int) {
+	if len(a) != len(b) {
+		panic("stats: ChiSquareTwoSample requires matching bin counts")
+	}
+	// Pool sparse bins left to right.
+	type bin struct{ a, b int64 }
+	var bins []bin
+	var cur bin
+	for i := range a {
+		cur.a += a[i]
+		cur.b += b[i]
+		if cur.a+cur.b >= 10 {
+			bins = append(bins, cur)
+			cur = bin{}
+		}
+	}
+	if cur.a+cur.b > 0 {
+		if len(bins) > 0 {
+			bins[len(bins)-1].a += cur.a
+			bins[len(bins)-1].b += cur.b
+		} else {
+			bins = append(bins, cur)
+		}
+	}
+	if len(bins) < 2 {
+		return 0, 0
+	}
+	var na, nb int64
+	for _, bn := range bins {
+		na += bn.a
+		nb += bn.b
+	}
+	fa, fb := float64(na), float64(nb)
+	total := fa + fb
+	for _, bn := range bins {
+		pooled := float64(bn.a+bn.b) / total
+		ea := fa * pooled
+		eb := fb * pooled
+		da := float64(bn.a) - ea
+		db := float64(bn.b) - eb
+		stat += da*da/ea + db*db/eb
+	}
+	return stat, len(bins) - 1
+}
+
+// chiSquareTable holds upper critical values of the χ² distribution
+// for df 1…10 at the supported significance levels, indexed
+// [df−1][levelIndex] with levels ordered 0.10, 0.05, 0.01, 0.001.
+var chiSquareTable = [10][4]float64{
+	{2.706, 3.841, 6.635, 10.828},
+	{4.605, 5.991, 9.210, 13.816},
+	{6.251, 7.815, 11.345, 16.266},
+	{7.779, 9.488, 13.277, 18.467},
+	{9.236, 11.070, 15.086, 20.515},
+	{10.645, 12.592, 16.812, 22.458},
+	{12.017, 14.067, 18.475, 24.322},
+	{13.362, 15.507, 20.090, 26.124},
+	{14.684, 16.919, 21.666, 27.877},
+	{15.987, 18.307, 23.209, 29.588},
+}
+
+// chiSquareZ holds the standard-normal upper quantiles feeding the
+// Wilson–Hilferty approximation, aligned with chiSquareTable's levels.
+var chiSquareZ = [4]float64{1.2816, 1.6449, 2.3263, 3.0902}
+
+func chiSquareLevel(alpha float64) int {
+	switch alpha {
+	case 0.10:
+		return 0
+	case 0.05:
+		return 1
+	case 0.01:
+		return 2
+	case 0.001:
+		return 3
+	}
+	panic("stats: ChiSquareCritical supports alpha ∈ {0.10, 0.05, 0.01, 0.001}")
+}
+
+// ChiSquareCritical returns the upper critical value of the χ²
+// distribution with df degrees of freedom at significance level
+// alpha ∈ {0.10, 0.05, 0.01, 0.001}: exact tabulated values for
+// df ≤ 10, the Wilson–Hilferty cube approximation
+// df·(1 − 2/(9·df) + z_α·√(2/(9·df)))³ beyond (accurate to well under
+// 1% there).
+func ChiSquareCritical(df int, alpha float64) float64 {
+	if df < 1 {
+		panic("stats: ChiSquareCritical requires df ≥ 1")
+	}
+	li := chiSquareLevel(alpha)
+	if df <= 10 {
+		return chiSquareTable[df-1][li]
+	}
+	f := float64(df)
+	t := 1 - 2/(9*f) + chiSquareZ[li]*math.Sqrt(2/(9*f))
+	return f * t * t * t
+}

@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestKSStatisticHandComputed pins the statistic against fixtures small
+// enough to evaluate the empirical CDFs by hand.
+func TestKSStatisticHandComputed(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		// F_a jumps to 1/2 by x=2 while F_b is still 0; sup = 1/2.
+		{"shifted", []float64{1, 2, 3, 4}, []float64{3, 4, 5, 6}, 0.5},
+		// Identical samples never separate.
+		{"identical", []float64{1, 2, 3}, []float64{1, 2, 3}, 0},
+		// Disjoint supports separate completely.
+		{"disjoint", []float64{1, 2}, []float64{3, 4}, 1},
+		// Ties across samples: after x=1, F_a=1, F_b=1/3 → 2/3.
+		{"ties", []float64{1, 1, 1}, []float64{1, 2, 3}, 2.0 / 3.0},
+		// Unequal sizes: after x=1, F_a=1/1... sup at x=1: |1/2 − 1/4|,
+		// at x=2: |1 − 2/4| = 1/2.
+		{"unequal", []float64{1, 2}, []float64{1, 2, 3, 4}, 0.5},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			if got := KSStatistic(tc.a, tc.b); math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("KSStatistic = %v, want %v", got, tc.want)
+			}
+			// Symmetry.
+			if got := KSStatistic(tc.b, tc.a); math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("KSStatistic reversed = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestKSStatisticDoesNotMutate pins that the inputs are left unsorted.
+func TestKSStatisticDoesNotMutate(t *testing.T) {
+	t.Parallel()
+	a := []float64{3, 1, 2}
+	b := []float64{2, 3, 1}
+	KSStatistic(a, b)
+	if a[0] != 3 || a[1] != 1 || a[2] != 2 || b[0] != 2 {
+		t.Fatalf("inputs mutated: a=%v b=%v", a, b)
+	}
+}
+
+// TestKSThreshold pins the closed form: for na = nb = 100 at α = 0.05,
+// c = √(−ln 0.025/2) ≈ 1.358102, threshold = c·√(200/10000).
+func TestKSThreshold(t *testing.T) {
+	t.Parallel()
+	want := math.Sqrt(-math.Log(0.025)/2) * math.Sqrt(200.0/10000.0)
+	if got := KSThreshold(100, 100, 0.05); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("KSThreshold(100,100,0.05) = %v, want %v", got, want)
+	}
+	// Same-law samples of this size should sit comfortably below the
+	// α = 0.001 threshold: identical empirical data gives D = 0.
+	if d := KSStatistic([]float64{1, 2, 3}, []float64{1, 2, 3}); d > KSThreshold(3, 3, 0.001) {
+		t.Fatalf("identical samples rejected: D=%v", d)
+	}
+}
+
+// TestChiSquareStatHandComputed pins the fair-die fixture whose
+// statistic is exactly 2: observed {16,18,16,14,12,12} over 88 rolls,
+// uniform expected 44/3 per face.
+func TestChiSquareStatHandComputed(t *testing.T) {
+	t.Parallel()
+	observed := []int64{16, 18, 16, 14, 12, 12}
+	expected := make([]float64, 6)
+	for i := range expected {
+		expected[i] = 44.0 / 3.0
+	}
+	if got := ChiSquareStat(observed, expected); math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("ChiSquareStat = %v, want exactly 2.0", got)
+	}
+	// 5 degrees of freedom at α = 0.05 → 11.070: the fair die passes.
+	if crit := ChiSquareCritical(5, 0.05); 2.0 > crit {
+		t.Fatalf("fair die rejected against critical %v", crit)
+	}
+}
+
+// TestChiSquareTwoSampleHandComputed pins the homogeneity statistic on
+// a 2×2 table: a = {10, 30}, b = {30, 10}. Pooled proportions are
+// 1/2 each, every expected count is 20, every deviation ±10, so the
+// statistic is 4·(100/20) = 20 with 1 degree of freedom.
+func TestChiSquareTwoSampleHandComputed(t *testing.T) {
+	t.Parallel()
+	stat, df := ChiSquareTwoSample([]int64{10, 30}, []int64{30, 10})
+	if df != 1 {
+		t.Fatalf("df = %d, want 1", df)
+	}
+	if math.Abs(stat-20.0) > 1e-12 {
+		t.Fatalf("stat = %v, want exactly 20.0", stat)
+	}
+	// 20 ≫ 10.828 (df 1, α = 0.001): clearly heterogeneous.
+	if stat < ChiSquareCritical(1, 0.001) {
+		t.Fatal("obviously different samples not rejected")
+	}
+	// Identical tables carry zero statistic.
+	stat, df = ChiSquareTwoSample([]int64{20, 20}, []int64{20, 20})
+	if df != 1 || stat != 0 {
+		t.Fatalf("identical tables: stat=%v df=%d", stat, df)
+	}
+}
+
+// TestChiSquareTwoSamplePooling pins the sparse-bin pooling: bins with
+// combined count below 10 merge rightward, the trailing remainder
+// merges backward, and a table that pools to a single bin reports
+// df = 0 (no test).
+func TestChiSquareTwoSamplePooling(t *testing.T) {
+	t.Parallel()
+	// Combined counts {7, 11, 2}: bin 0 is below 10 so it pools with
+	// bin 1 (combined 18 ≥ 10 closes the pool), and the trailing 2
+	// pools backward into it. One bin remains → df 0, no test.
+	stat, df := ChiSquareTwoSample([]int64{3, 5, 1}, []int64{4, 6, 1})
+	if df != 0 || stat != 0 {
+		t.Fatalf("fully pooled table: stat=%v df=%d, want 0, 0", stat, df)
+	}
+	// Two dense bins plus a sparse tail: the tail pools into the last
+	// dense bin, leaving df = 1.
+	_, df = ChiSquareTwoSample([]int64{20, 20, 1}, []int64{20, 20, 2})
+	if df != 1 {
+		t.Fatalf("df = %d, want 1 after tail pooling", df)
+	}
+}
+
+// TestChiSquareCriticalTable spot-checks the tabulated quantiles and
+// the Wilson–Hilferty extension's accuracy at the first df beyond the
+// table (df 20 at α = 0.05 is 31.410 to three decimals).
+func TestChiSquareCriticalTable(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		df    int
+		alpha float64
+		want  float64
+	}{
+		{1, 0.05, 3.841},
+		{1, 0.001, 10.828},
+		{2, 0.10, 4.605},
+		{5, 0.05, 11.070},
+		{10, 0.01, 23.209},
+	}
+	for _, tc := range cases {
+		if got := ChiSquareCritical(tc.df, tc.alpha); got != tc.want {
+			t.Fatalf("ChiSquareCritical(%d, %v) = %v, want %v", tc.df, tc.alpha, got, tc.want)
+		}
+	}
+	// Wilson–Hilferty beyond the table: df 20, α = 0.05 → 31.410…;
+	// the cube approximation must land within 0.5%.
+	if got := ChiSquareCritical(20, 0.05); math.Abs(got-31.410)/31.410 > 0.005 {
+		t.Fatalf("Wilson–Hilferty df=20 gave %v, want ≈31.410", got)
+	}
+	// Monotone in df and in confidence.
+	if ChiSquareCritical(11, 0.05) <= ChiSquareCritical(10, 0.05) {
+		t.Fatal("critical values not monotone across the table boundary")
+	}
+	if ChiSquareCritical(7, 0.001) <= ChiSquareCritical(7, 0.05) {
+		t.Fatal("critical values not monotone in significance")
+	}
+}
+
+// TestKSSameLawAcceptance draws two independent samples from the same
+// law with a fixed seed and checks the α = 0.001 test accepts — the
+// configuration the engine-equivalence suite runs with.
+func TestKSSameLawAcceptance(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(42, 43))
+	const n = 400
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		// Discrete, heavily tied law — the convergence-time shape.
+		a[i] = float64(rng.IntN(50))
+		b[i] = float64(rng.IntN(50))
+	}
+	d := KSStatistic(a, b)
+	if thr := KSThreshold(n, n, 0.001); d > thr {
+		t.Fatalf("same-law samples rejected: D=%v > %v", d, thr)
+	}
+	// And a genuinely shifted law is caught even at α = 0.001.
+	for i := range b {
+		b[i] += 10
+	}
+	d = KSStatistic(a, b)
+	if thr := KSThreshold(n, n, 0.001); d <= thr {
+		t.Fatalf("shifted law accepted: D=%v ≤ %v", d, thr)
+	}
+}
