@@ -12,9 +12,14 @@
 //	campaign -name One-Way-Epidemic -kind process -sizes 64,128
 //	campaign -name simple-global-line -sizes 24 -faults "crash@576,crash@1152" -metric largest-component
 //	campaign -name global-star -sizes 256 -trials 200 -progress 2s -progress-out progress.ndjson
+//	campaign -spec sweep.json -checkpoint sweep.ckpt -resume
 //	campaign -list
 //
-// Aggregates are bit-identical for a fixed spec regardless of -workers.
+// Aggregates are bit-identical for a fixed spec regardless of -workers
+// — and, with -checkpoint/-resume, regardless of how many times the
+// process was interrupted along the way. SIGINT/SIGTERM cancel the
+// sweep cleanly: partial aggregates are written, the checkpoint gets a
+// final flush, and the exit code is non-zero.
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/campaign"
@@ -63,6 +69,12 @@ func run() error {
 		workers  = flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 0, "per-run wall-clock cap (0 = none)")
 		freshAlc = flag.Bool("fresh-alloc", false, "disable per-worker run workspaces (every trial allocates fresh state; results are identical, only slower)")
+		shardTr  = flag.Int("shard-trials", 0, "trials per checkpoint shard (0 = 32); affects the reduction order, so resumed runs must use the value the checkpoint records")
+		ckPath   = flag.String("checkpoint", "", "persist completed work to this file (atomic NDJSON) so an interrupted campaign can continue with -resume")
+		ckEvery  = flag.Duration("checkpoint-every", 0, "checkpoint persistence interval (0 = 30s)")
+		resume   = flag.Bool("resume", false, "skip the shards already recorded in -checkpoint (a missing file is a fresh start); the resumed campaign's output is bit-identical to an uninterrupted run's")
+		retries  = flag.Int("retries", 0, "re-run a transiently failed trial (per-run timeout, first-time panic) up to this many extra times with exponential backoff")
+		retryBO  = flag.Duration("retry-backoff", 0, "delay before the first retry, doubling per retry (0 = 100ms)")
 		out      = flag.String("out", "", "aggregate output path (default stdout)")
 		runsOut  = flag.String("runs-out", "", "also write raw per-run records to this path")
 		format   = flag.String("format", "json", "output format: json or csv")
@@ -110,6 +122,10 @@ func run() error {
 		return fmt.Errorf("unknown format %q (known: json, csv)", *format)
 	}
 
+	if *resume && *ckPath == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+
 	spec, err := loadSpec(*specPath, *name, *kind, *sizes, *trials, *seed, *sched, *metric, *engine, *detector, *faults, *inclUnc, *maxSteps)
 	if err != nil {
 		return err
@@ -119,14 +135,37 @@ func run() error {
 		return err
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGINT and SIGTERM cancel the campaign instead of killing the
+	// process: in-flight runs stop, partial aggregates are still
+	// written, a configured checkpoint gets a final flush, and the exit
+	// code is non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	opts := campaign.Options{
-		Workers:    *workers,
-		Timeout:    *timeout,
-		KeepRuns:   *runsOut != "",
-		FreshAlloc: *freshAlc,
+		Workers:     *workers,
+		Timeout:     *timeout,
+		KeepRuns:    *runsOut != "",
+		FreshAlloc:  *freshAlc,
+		ShardTrials: *shardTr,
+		Checkpoint:  *ckPath,
+		Resume:      *resume,
+	}
+	if *ckEvery > 0 {
+		opts.CheckpointEvery = *ckEvery
+	}
+	if *retries > 0 {
+		opts.Retry = campaign.RetryPolicy{
+			MaxAttempts: *retries + 1,
+			BaseBackoff: *retryBO,
+		}
+	}
+	if *resume {
+		// Execute re-validates the file exhaustively; this peek only
+		// feeds the status line.
+		if hdr, done, err := campaign.ReadCheckpoint(*ckPath); err == nil {
+			fmt.Fprintf(os.Stderr, "campaign: resuming %d/%d shards from %s\n", len(done), hdr.Shards, *ckPath)
+		}
 	}
 	total := 0
 	for _, pt := range points {
@@ -178,20 +217,35 @@ func run() error {
 		}
 	}
 
-	result, err := campaign.Execute(ctx, points, opts)
-	if err != nil {
-		return err
+	result, runErr := campaign.Execute(ctx, points, opts)
+	if runErr != nil && result.Aggregates == nil {
+		// Failed before any work happened (bad spec, rejected resume):
+		// nothing partial to write.
+		return runErr
 	}
 
+	// Write outputs even when the campaign was cancelled or errored:
+	// partial aggregates are real measurements (cancellation landed at a
+	// deterministic record boundary), and the non-zero exit code still
+	// tells scripts the sweep is incomplete.
 	if err := writeOutput(*out, *format, result.Aggregates, nil); err != nil {
-		return err
+		if runErr == nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "campaign:", err)
 	}
 	if *runsOut != "" {
 		if err := writeOutput(*runsOut, *format, nil, result.Runs); err != nil {
-			return err
+			if runErr == nil {
+				return err
+			}
+			fmt.Fprintln(os.Stderr, "campaign:", err)
 		}
 	}
-	return nil
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "campaign: interrupted — outputs hold partial aggregates")
+	}
+	return runErr
 }
 
 // loadSpec reads the spec file or assembles a single-item spec from

@@ -18,8 +18,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 
 	"repro/internal/campaign"
 	"repro/internal/core"
@@ -121,10 +123,15 @@ func run() error {
 		fmt.Printf("fault plan: %s\n", plan)
 	}
 
+	// SIGINT/SIGTERM cancel in-flight trials instead of killing the
+	// process mid-write; the non-zero exit reports the cut.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	var lastConvergedSeed, firstSeed uint64
 	var lastConvergedSteps, firstSeedSteps int64
 	haveConverged := false
-	out, err := campaign.Execute(context.Background(), []campaign.Point{{
+	out, err := campaign.Execute(ctx, []campaign.Point{{
 		Protocol:     c.Proto.Name(),
 		N:            *n,
 		Scheduler:    *sched,

@@ -152,8 +152,11 @@ type Point struct {
 	Engine core.Engine
 
 	// Metric extracts the measured value; nil means
-	// MetricConvergenceTime.
-	Metric Metric
+	// MetricConvergenceTime. MetricName, when set, labels the metric
+	// for checkpoint identity (Compile fills it from the spec; direct
+	// API callers may leave it empty, see SpecHash).
+	Metric     Metric
+	MetricName string
 
 	// Expected is the analytic reference value for this point (0 when
 	// none applies); it is copied onto the aggregate.
@@ -254,26 +257,46 @@ type RunRecord struct {
 	// field of a record.
 	DurationNS int64  `json:"duration_ns"`
 	Err        string `json:"err,omitempty"`
+	// Panicked marks a trial whose attempt panicked (the message is in
+	// Err). Unlike plain Err records — which abort the whole campaign —
+	// a panicked record only counts as a failure: the worker pool keeps
+	// running and the poisoned workspace is discarded (see retry.go).
+	Panicked bool `json:"panicked,omitempty"`
+	// Attempts is the total attempt count behind this record; it is
+	// only set (> 1) when the retry policy re-ran the trial, so
+	// single-attempt records stay byte-identical with and without a
+	// policy.
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // Aggregate is the reduced series entry for one point: summary
 // statistics of the metric over converged runs, plus failure counts.
 // For a fixed point list and seed range it is bit-identical regardless
-// of Options.Workers.
+// of Options.Workers — and, because the reduction is shard-structured
+// (see shard.go), regardless of whether any shards were resumed from a
+// checkpoint.
 type Aggregate struct {
-	Protocol  string  `json:"protocol"`
-	N         int     `json:"n"`
-	Scheduler string  `json:"scheduler"`
-	Trials    int     `json:"trials"`
-	Converged int     `json:"converged"`
-	Failures  int     `json:"failures"`
-	Stopped   int     `json:"stopped"`
-	Mean      float64 `json:"mean"`
-	StdErr    float64 `json:"stderr"`
-	StdDev    float64 `json:"stddev"`
-	Min       float64 `json:"min"`
-	Max       float64 `json:"max"`
-	Expected  float64 `json:"expected,omitempty"`
+	Protocol  string `json:"protocol"`
+	N         int    `json:"n"`
+	Scheduler string `json:"scheduler"`
+	Trials    int    `json:"trials"`
+	Converged int    `json:"converged"`
+	Failures  int    `json:"failures"`
+	Stopped   int    `json:"stopped"`
+	// Panics counts the failures that were recovered worker panics.
+	Panics int     `json:"panics,omitempty"`
+	Mean   float64 `json:"mean"`
+	StdErr float64 `json:"stderr"`
+	StdDev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	// Acc is the raw Welford accumulator state behind the five summary
+	// fields above. Carrying it makes aggregates mergeable after the
+	// fact (Merge): checkpoint shards, partial exports, and eventually
+	// sweeps split across machines combine exactly instead of
+	// re-deriving moments from rounded summaries.
+	Acc      stats.OnlineState `json:"acc"`
+	Expected float64           `json:"expected,omitempty"`
 	// Faults labels the point's fault plan in flag syntax ("" without
 	// one), so fault sweeps stay distinguishable in exported series.
 	Faults string `json:"faults,omitempty"`
@@ -322,6 +345,36 @@ type Options struct {
 	// ProgressInterval is the period of OnProgress records; ≤ 0 means
 	// one second.
 	ProgressInterval time.Duration
+	// ShardTrials overrides the trial-partition granularity
+	// (DefaultShardTrials when ≤ 0). The partition is part of the
+	// reduction topology — multi-shard aggregates depend on it in their
+	// last floating-point bits — so checkpoints record it and Resume
+	// validates the match.
+	ShardTrials int
+	// Checkpoint, when non-empty, is the path of the campaign's
+	// crash-safety file: completed shards are persisted there
+	// atomically (write-temp + fsync + rename, versioned NDJSON) every
+	// CheckpointEvery and once more before Execute returns — including
+	// when the campaign is cancelled.
+	Checkpoint string
+	// CheckpointEvery is the persistence interval; ≤ 0 means
+	// DefaultCheckpointEvery.
+	CheckpointEvery time.Duration
+	// Resume loads the Checkpoint file when it exists (a missing file
+	// is a fresh start) and skips its completed shards: their records
+	// replay from the file — through OnRun, KeepRuns and the progress
+	// counters — and their aggregates merge exactly as live shards
+	// would, so a resumed campaign's Outcome is bit-identical to an
+	// uninterrupted run's for seeded trials. (Stopped records cut by a
+	// wall-clock Timeout are the one nondeterministic outcome a
+	// checkpoint can pin that a rerun might not reproduce.) The file
+	// must match this campaign's spec hash, schema, shard partition and
+	// build version; mismatches are errors, reported before any trial
+	// runs and before the file could be overwritten.
+	Resume bool
+	// Retry is the per-trial retry policy; the zero value runs every
+	// trial exactly once.
+	Retry RetryPolicy
 }
 
 // Progress is a point-in-time view of a running campaign, streamed to
@@ -385,7 +438,12 @@ type taggedRecord struct {
 // Execute runs every trial of every point on a worker pool and reduces
 // the results in deterministic order. It returns early with ctx's
 // error when cancelled and with the first run error otherwise; both
-// cancel all in-flight runs via core.Options.Stop.
+// cancel all in-flight runs via core.Options.Stop. Recovered trial
+// panics are not errors: they become failed records and the sweep
+// continues (see retry.go). Even on early return the partial Outcome
+// is populated with everything reduced so far, and a configured
+// checkpoint receives a final flush — crash-safe campaigns resume from
+// it via Options.Resume.
 func Execute(ctx context.Context, points []Point, opts Options) (Outcome, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -398,17 +456,58 @@ func Execute(ctx context.Context, points []Point, opts Options) (Outcome, error)
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	// Global trial ids: point p's trial t has gid offsets[p]+t. The
-	// collector folds records in increasing gid order, which fixes the
-	// reduction order independently of scheduling.
-	offsets := make([]int, len(points))
+	// The canonical shard partition: consecutive trial ranges in point
+	// order. Global trial ids number the trials in that same order —
+	// point p's trial t has gid offsets[p]+t, and shard s covers
+	// [shardStart[s], shardStart[s]+s.Trials). The collector folds
+	// records in increasing gid order, which fixes the reduction order
+	// independently of scheduling.
+	shardTrials := opts.ShardTrials
+	if shardTrials <= 0 {
+		shardTrials = DefaultShardTrials
+	}
+	shards := planShards(points, shardTrials)
+	shardStart := make([]int, len(shards))
 	total := 0
-	for i, pt := range points {
-		offsets[i] = total
-		total += pt.Trials
+	for i, s := range shards {
+		shardStart[i] = total
+		total += s.Trials
+	}
+	offsets := make([]int, len(points))
+	for i, gid := 0, 0; i < len(points); i++ {
+		offsets[i] = gid
+		gid += points[i].Trials
 	}
 	if workers > total {
 		workers = total
+	}
+
+	// Checkpoint/resume plumbing. Resume validation happens before any
+	// trial runs — and before the file could be overwritten — so a
+	// mismatched or malformed checkpoint is a clean error, not lost
+	// work.
+	if opts.Resume && opts.Checkpoint == "" {
+		return Outcome{}, errors.New("campaign: Options.Resume requires Options.Checkpoint")
+	}
+	var ck *checkpointer
+	var resumed map[int]ShardResult
+	if opts.Checkpoint != "" {
+		hdr := CheckpointHeader{
+			Schema:      checkpointSchema,
+			SpecHash:    SpecHash(points, shardTrials),
+			Version:     buildVersion(),
+			ShardTrials: shardTrials,
+			Shards:      len(shards),
+		}
+		ck = newCheckpointer(opts.Checkpoint, opts.CheckpointEvery, hdr)
+		if opts.Resume {
+			var err error
+			resumed, err = loadResume(opts.Checkpoint, hdr, shards, points)
+			if err != nil {
+				return Outcome{}, err
+			}
+			ck.seed(resumed)
+		}
 	}
 
 	start := time.Now()
@@ -456,7 +555,9 @@ func Execute(ctx context.Context, points []Point, opts Options) (Outcome, error)
 			// them, so steady-state campaign throughput is bounded by the
 			// simulation, not the allocator. Workspaces never change a
 			// result bit, so aggregates stay independent of Workers and
-			// of this optimization.
+			// of this optimization. runTrial may replace the workspace
+			// behind the pointer: a panicking trial poisons it, and
+			// poisoned state is never reused.
 			var ws *core.Workspace
 			if !opts.FreshAlloc {
 				ws = core.NewWorkspace()
@@ -465,8 +566,13 @@ func Execute(ctx context.Context, points []Point, opts Options) (Outcome, error)
 				if runCtx.Err() != nil {
 					continue // drain without running
 				}
-				p, t := locate(offsets, points, gid)
-				tr := taggedRecord{gid: gid, rec: runTrial(runCtx, &points[p], p, t, opts.Timeout, ws)}
+				var rec RunRecord
+				if p, t, err := locate(offsets, points, gid); err != nil {
+					rec = RunRecord{Point: -1, Err: err.Error()}
+				} else {
+					rec = runTrial(runCtx, &points[p], p, t, opts.Timeout, opts.Retry, &ws)
+				}
+				tr := taggedRecord{gid: gid, rec: rec}
 				if progressOn {
 					doneTrials.Add(1)
 					busyNS.Add(tr.rec.DurationNS)
@@ -477,11 +583,16 @@ func Execute(ctx context.Context, points []Point, opts Options) (Outcome, error)
 	}
 	go func() {
 		defer close(jobs)
-		for gid := 0; gid < total; gid++ {
-			select {
-			case jobs <- gid:
-			case <-runCtx.Done():
-				return
+		for si := range shards {
+			if _, ok := resumed[si]; ok {
+				continue // completed by a previous process; replays below
+			}
+			for t := 0; t < shards[si].Trials; t++ {
+				select {
+				case jobs <- shardStart[si] + t:
+				case <-runCtx.Done():
+					return
+				}
 			}
 		}
 	}()
@@ -490,81 +601,169 @@ func Execute(ctx context.Context, points []Point, opts Options) (Outcome, error)
 		close(results)
 	}()
 
-	// Collector: reorder buffer + in-order fold.
-	accs := make([]stats.Online, len(points))
+	// Collector: reorder buffer + in-order fold, shard-structured.
+	// Records fold into the open shard's own Welford accumulator in
+	// trial order; a finished shard merges into its point's aggregate
+	// via Aggregate.Merge (and is checkpointed). Resumed shards replay
+	// at exactly the position their trials would have arrived, so the
+	// reduction tree — and therefore every output bit — is identical to
+	// an uninterrupted run's.
 	out := Outcome{Aggregates: make([]Aggregate, len(points)), Workers: workers}
 	for i, pt := range points {
 		out.Aggregates[i] = Aggregate{
 			Protocol:  pt.Protocol,
 			N:         pt.N,
 			Scheduler: schedulerLabel(pt),
-			Trials:    pt.Trials,
 			Expected:  pt.Expected,
 			Faults:    pt.Faults.String(),
 		}
 	}
-	pending := make(map[int]RunRecord, workers)
-	next := 0
-	var firstErr error
+	var firstErr, flushErr error
 	firstErrGid := -1
+	mergeAgg := func(point int, agg Aggregate) {
+		if err := out.Aggregates[point].Merge(agg); err != nil && firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+	}
+	deliver := func(rec RunRecord) {
+		if opts.KeepRuns {
+			out.Runs = append(out.Runs, rec)
+		}
+		if opts.OnRun != nil {
+			opts.OnRun(rec)
+		}
+	}
+
+	curShard := 0         // shard containing the next expected gid
+	var open *ShardResult // in-flight accumulation of shards[curShard]
+	var openAcc stats.Online
+	next := 0
+	pending := make(map[int]RunRecord, workers)
+
+	openShard := func() {
+		s := &shards[curShard]
+		pt := &points[s.Point]
+		open = &ShardResult{
+			Shard: *s,
+			Agg: Aggregate{
+				Protocol:  pt.Protocol,
+				N:         pt.N,
+				Scheduler: schedulerLabel(*pt),
+				Expected:  pt.Expected,
+				Faults:    pt.Faults.String(),
+			},
+			Runs: make([]RunRecord, 0, s.Trials),
+		}
+		openAcc = stats.Online{}
+	}
+	foldRec := func(rec RunRecord) {
+		agg := &open.Agg
+		agg.Trials++
+		if rec.Err == "" {
+			agg.TotalSteps += rec.Steps
+			agg.TotalEffectiveSteps += rec.EffectiveSteps
+			agg.TotalSkippedSteps += rec.SkippedSteps
+			agg.FaultsApplied += rec.FaultCrashes + rec.FaultEdgeDeletions + rec.FaultResets
+		}
+		switch {
+		case rec.Err != "":
+			agg.Failures++
+			if rec.Panicked {
+				agg.Panics++
+			}
+		case rec.Converged:
+			agg.Converged++
+			openAcc.Add(rec.Value)
+		default:
+			agg.Failures++
+			if rec.Stopped {
+				agg.Stopped++
+			} else if points[rec.Point].IncludeUnconverged {
+				// Budget exhaustion is a deterministic cut point, so
+				// the value measured there is data (survivability
+				// campaigns); a nondeterministic Stopped cut is not.
+				openAcc.Add(rec.Value)
+			}
+		}
+		open.Runs = append(open.Runs, rec)
+		deliver(rec)
+	}
+	closeShard := func(complete bool) {
+		open.Agg.setAcc(openAcc)
+		mergeAgg(open.Point, open.Agg)
+		if complete && ck != nil {
+			ck.add(*open)
+			if err := ck.maybeFlush(); err != nil && flushErr == nil {
+				flushErr = err
+			}
+		}
+		open = nil
+		curShard++
+	}
+	// advance consumes everything available in gid order at the cursor:
+	// checkpointed shards replay whole, live records fold one at a
+	// time.
+	advance := func() {
+		for next < total {
+			if open == nil {
+				if sr, ok := resumed[curShard]; ok {
+					for _, rec := range sr.Runs {
+						deliver(rec)
+					}
+					if progressOn {
+						doneTrials.Add(int64(len(sr.Runs)))
+					}
+					mergeAgg(sr.Point, sr.Agg)
+					next += sr.Trials
+					curShard++
+					continue
+				}
+			}
+			rec, ok := pending[next]
+			if !ok {
+				return
+			}
+			delete(pending, next)
+			if open == nil {
+				openShard()
+			}
+			foldRec(rec)
+			next++
+			if next == shardStart[curShard]+shards[curShard].Trials {
+				closeShard(true)
+			}
+		}
+	}
+	advance()
 	for tr := range results {
-		if tr.rec.Err != "" && (firstErrGid < 0 || tr.gid < firstErrGid) {
-			// Record errors out of band: cancellation may break the
-			// in-order chain before this gid is reached.
+		if tr.rec.Err != "" && !tr.rec.Panicked && (firstErrGid < 0 || tr.gid < firstErrGid) {
+			// Hard errors cancel the campaign, recorded out of band:
+			// cancellation may break the in-order chain before this gid
+			// is reached. Recovered panics are isolated instead — they
+			// count as failures and the sweep keeps going.
 			firstErr = errors.New(tr.rec.Err)
 			firstErrGid = tr.gid
 			cancel()
 		}
 		pending[tr.gid] = tr.rec
-		for {
-			rec, ok := pending[next]
-			if !ok {
-				break
-			}
-			delete(pending, next)
-			next++
-			agg := &out.Aggregates[rec.Point]
-			if rec.Err == "" {
-				agg.TotalSteps += rec.Steps
-				agg.TotalEffectiveSteps += rec.EffectiveSteps
-				agg.TotalSkippedSteps += rec.SkippedSteps
-				agg.FaultsApplied += rec.FaultCrashes + rec.FaultEdgeDeletions + rec.FaultResets
-			}
-			switch {
-			case rec.Err != "":
-				agg.Failures++
-			case rec.Converged:
-				agg.Converged++
-				accs[rec.Point].Add(rec.Value)
-			default:
-				agg.Failures++
-				if rec.Stopped {
-					agg.Stopped++
-				} else if points[rec.Point].IncludeUnconverged {
-					// Budget exhaustion is a deterministic cut point, so
-					// the value measured there is data (survivability
-					// campaigns); a nondeterministic Stopped cut is not.
-					accs[rec.Point].Add(rec.Value)
-				}
-			}
-			if opts.KeepRuns {
-				out.Runs = append(out.Runs, rec)
-			}
-			if opts.OnRun != nil {
-				opts.OnRun(rec)
-			}
-		}
+		advance()
 	}
-	for i := range out.Aggregates {
-		o := &accs[i]
-		agg := &out.Aggregates[i]
-		agg.Mean = o.Mean()
-		agg.StdErr = o.StdErr()
-		agg.StdDev = o.StdDev()
-		agg.Min = o.Min()
-		agg.Max = o.Max()
+	if open != nil {
+		// Cancellation landed mid-shard: the completed prefix still
+		// counts toward the partial aggregates, but an incomplete shard
+		// is never checkpointed.
+		closeShard(false)
 	}
 	out.Elapsed = time.Since(start)
+
+	if ck != nil {
+		// Final flush — also on cancellation, so an interrupted campaign
+		// leaves its freshest state behind for the resume.
+		if err := ck.flush(); err != nil && flushErr == nil {
+			flushErr = err
+		}
+	}
 
 	if progressOn {
 		close(progressQuit)
@@ -578,7 +777,7 @@ func Execute(ctx context.Context, points []Point, opts Options) (Outcome, error)
 	if firstErr != nil {
 		return out, firstErr
 	}
-	return out, nil
+	return out, flushErr
 }
 
 // prepare validates the points and resolves their fault plans
@@ -621,16 +820,25 @@ func prepare(points []Point) error {
 	return nil
 }
 
-// locate maps a global trial id back to its (point, trial) pair.
-func locate(offsets []int, points []Point, gid int) (point, trial int) {
-	// offsets is increasing and short (one entry per grid cell); a
-	// linear scan from the back finds the owning point.
-	for p := len(offsets) - 1; p >= 0; p-- {
-		if gid >= offsets[p] {
-			return p, gid - offsets[p]
+// locate maps a global trial id back to its (point, trial) pair. An
+// out-of-range gid — impossible from the job generator, but cheap to
+// defend against — is a descriptive error rather than a panic, so a
+// bookkeeping bug surfaces as a failed campaign instead of taking down
+// the worker pool.
+func locate(offsets []int, points []Point, gid int) (point, trial int, err error) {
+	if gid >= 0 {
+		// offsets is increasing and short (one entry per grid cell); a
+		// linear scan from the back finds the owning point.
+		for p := len(offsets) - 1; p >= 0; p-- {
+			if gid >= offsets[p] {
+				if t := gid - offsets[p]; t < points[p].Trials {
+					return p, t, nil
+				}
+				break
+			}
 		}
 	}
-	panic("campaign: gid out of range")
+	return 0, 0, fmt.Errorf("campaign: global trial id %d outside the campaign's trial space (%d points)", gid, len(points))
 }
 
 func schedulerLabel(pt Point) string {
@@ -645,106 +853,7 @@ func schedulerLabel(pt Point) string {
 	return core.UniformScheduler{}.Name()
 }
 
-// runTrial executes one run and never returns an unrecoverable error:
-// failures are encoded on the record so the collector can count and
-// report them deterministically. ws, when non-nil, is the calling
-// worker's reusable run workspace; the metric is extracted before
-// runTrial returns, so the borrowed Result.Final is never read after
-// the workspace's next run begins.
-func runTrial(ctx context.Context, pt *Point, pointIdx, trial int, timeout time.Duration, ws *core.Workspace) RunRecord {
-	rec := RunRecord{
-		Point:     pointIdx,
-		Protocol:  pt.Protocol,
-		N:         pt.N,
-		Scheduler: schedulerLabel(*pt),
-		Trial:     trial,
-		Seed:      pt.BaseSeed + uint64(trial),
-	}
-	var deadline time.Time
-	if timeout > 0 {
-		deadline = time.Now().Add(timeout)
-	}
-	stop := func() bool {
-		select {
-		case <-ctx.Done():
-			return true
-		default:
-		}
-		if timeout > 0 && time.Now().After(deadline) {
-			return true
-		}
-		return pt.Stop != nil && pt.Stop()
-	}
-
-	if pt.DynProto != nil {
-		return runDynTrial(pt, rec, stop)
-	}
-
-	opts := core.Options{
-		Seed:          rec.Seed,
-		Engine:        pt.Engine,
-		Detector:      pt.Detector,
-		MaxSteps:      pt.MaxSteps,
-		CheckInterval: pt.CheckInterval,
-		Observer:      pt.Observer,
-		Stop:          stop,
-		Workspace:     ws,
-	}
-	if pt.NewScheduler != nil {
-		opts.Scheduler = pt.NewScheduler()
-	}
-	if pt.Initial != nil {
-		initial, err := pt.Initial(trial)
-		if err != nil {
-			rec.Err = err.Error()
-			return rec
-		}
-		opts.Initial = initial
-	}
-	proto := pt.Proto
-	var injection *scenario.Injection
-	if pt.prepared != nil {
-		proto = pt.prepared.Proto
-		injection = pt.prepared.NewInjection(rec.Seed)
-		opts.Injector = injection
-		rec.Faults = pt.Faults.String()
-	}
-
-	start := time.Now()
-	res, err := core.Run(proto, pt.N, opts)
-	rec.DurationNS = time.Since(start).Nanoseconds()
-	if injection != nil {
-		counts := injection.Counts()
-		rec.FaultCrashes = counts.Crashes
-		rec.FaultEdgeDeletions = counts.EdgeDeletions
-		rec.FaultResets = counts.Resets
-	}
-	if err != nil {
-		rec.Err = err.Error()
-		return rec
-	}
-	rec.Engine = res.Engine.String()
-	rec.Converged = res.Converged
-	rec.Stopped = res.Stopped
-	rec.Steps = res.Steps
-	rec.ConvergenceTime = res.ConvergenceTime
-	rec.EffectiveSteps = res.EffectiveSteps
-	rec.EdgeChanges = res.EdgeChanges
-	rec.SkippedSteps = res.Metrics.SkippedSteps
-	rec.SkipBatches = res.Metrics.SkipBatches
-	rec.SampleRejections = res.Metrics.SampleRejections
-	rec.SampleFallbacks = res.Metrics.SampleFallbacks
-	rec.BucketDraws = res.Metrics.BucketDraws
-	rec.ExactFallbackLandings = res.Metrics.ExactFallbackLandings
-	metric := pt.Metric
-	if metric == nil {
-		metric = MetricConvergenceTime
-	}
-	rec.Value = metric(res, pt.N)
-	return rec
-}
-
-// runDynTrial is runTrial's dynamic-protocol branch: core.RunDyn with
+// runDynTrial is runAttempt's dynamic-protocol branch: core.RunDyn with
 // the same cancellation and timeout plumbing, mapped onto the shared
 // record shape (Engine "dynamic", no edge-change counter).
 //

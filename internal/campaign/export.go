@@ -21,8 +21,8 @@ func WriteAggregatesCSV(w io.Writer, aggs []Aggregate) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
 		"protocol", "n", "scheduler", "faults", "trials", "converged",
-		"failures", "stopped", "mean", "stderr", "stddev", "min", "max",
-		"expected", "total_steps", "total_effective_steps",
+		"failures", "stopped", "panics", "mean", "stderr", "stddev", "min",
+		"max", "expected", "total_steps", "total_effective_steps",
 		"total_skipped_steps", "faults_applied",
 	}); err != nil {
 		return err
@@ -37,6 +37,7 @@ func WriteAggregatesCSV(w io.Writer, aggs []Aggregate) error {
 			strconv.Itoa(a.Converged),
 			strconv.Itoa(a.Failures),
 			strconv.Itoa(a.Stopped),
+			strconv.Itoa(a.Panics),
 			formatFloat(a.Mean),
 			formatFloat(a.StdErr),
 			formatFloat(a.StdDev),
@@ -73,7 +74,7 @@ func WriteRunsCSV(w io.Writer, runs []RunRecord) error {
 		"sample_rejections", "sample_fallbacks", "bucket_draws",
 		"exact_fallback_landings", "fault_crashes",
 		"fault_edge_deletions", "fault_resets", "value", "duration_ns",
-		"err",
+		"attempts", "panicked", "err",
 	}); err != nil {
 		return err
 	}
@@ -104,6 +105,8 @@ func WriteRunsCSV(w io.Writer, runs []RunRecord) error {
 			strconv.FormatInt(r.FaultResets, 10),
 			formatFloat(r.Value),
 			strconv.FormatInt(r.DurationNS, 10),
+			strconv.Itoa(r.Attempts),
+			strconv.FormatBool(r.Panicked),
 			r.Err,
 		}
 		if err := cw.Write(rec); err != nil {

@@ -325,5 +325,8 @@ func resolveItem(pt *Point, item Item, metricName string) error {
 		return err
 	}
 	pt.Metric = metric
+	// The resolved name keeps the metric choice hashable: SpecHash folds
+	// it into checkpoint identity, where the func itself cannot go.
+	pt.MetricName = metricName
 	return nil
 }

@@ -73,6 +73,31 @@ func (o *Online) Summary() Summary {
 	return Summary{N: o.n, Mean: o.mean, StdDev: o.StdDev(), Min: o.min, Max: o.max}
 }
 
+// OnlineState is the serializable snapshot of an Online accumulator —
+// the five numbers the Chan/Welford parallel-combine rule needs. It is
+// what campaign checkpoints persist per shard, so partial aggregates
+// survive a process restart and merge exactly where they left off
+// (across processes, or eventually machines).
+type OnlineState struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// State snapshots the accumulator. FromState(o.State()) is o, exactly.
+func (o *Online) State() OnlineState {
+	return OnlineState{N: o.n, Mean: o.mean, M2: o.m2, Min: o.min, Max: o.max}
+}
+
+// FromState reconstitutes an accumulator from a snapshot. Adding or
+// merging into the result continues bit-for-bit where the snapshotted
+// accumulator would have — the state is the whole accumulator.
+func FromState(s OnlineState) Online {
+	return Online{n: s.N, mean: s.Mean, m2: s.M2, min: s.Min, max: s.Max}
+}
+
 // Merge folds the other accumulator into o using the parallel-variance
 // combination rule. Note that merging is not bit-for-bit equivalent to
 // sequential Adds — order-sensitive callers (the campaign collector)

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 )
 
@@ -80,5 +81,70 @@ func TestOnlineMerge(t *testing.T) {
 	whole.Merge(Online{})
 	if whole != before {
 		t.Fatalf("merge of empty changed state: %+v want %+v", whole, before)
+	}
+}
+
+func TestOnlineStateRoundTrip(t *testing.T) {
+	t.Parallel()
+	var o Online
+	for _, x := range []float64{3, 1, 4, 1, 5, 9.7} {
+		o.Add(x)
+	}
+	got := FromState(o.State())
+	if got != o {
+		t.Fatalf("FromState(State()) = %+v, want %+v", got, o)
+	}
+	// Continuing from the reconstituted state is bit-for-bit the same as
+	// continuing from the original.
+	o.Add(2.6)
+	got.Add(2.6)
+	if got != o {
+		t.Fatalf("post-round-trip Add diverged: %+v vs %+v", got, o)
+	}
+	if FromState(OnlineState{}) != (Online{}) {
+		t.Fatal("zero state is not the zero accumulator")
+	}
+}
+
+// TestOnlineMergePartitions is the property behind crash-safe campaign
+// checkpoints: splitting a sample stream into contiguous chunks,
+// accumulating each chunk sequentially and merging the chunks in order
+// must match the single-pass result — exactly in count/min/max,
+// within floating-point tolerance in the moments.
+func TestOnlineMergePartitions(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(400)
+		xs := make([]float64, n)
+		for i := range xs {
+			// Mix magnitudes so catastrophic cancellation would show up.
+			xs[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(6)))
+		}
+		var whole Online
+		for _, x := range xs {
+			whole.Add(x)
+		}
+		var merged Online
+		for i := 0; i < n; {
+			j := i + 1 + rng.Intn(n-i)
+			var chunk Online
+			for _, x := range xs[i:j] {
+				chunk.Add(x)
+			}
+			merged.Merge(chunk)
+			i = j
+		}
+		if merged.N() != whole.N() || merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+			t.Fatalf("trial %d: count/min/max diverged: %+v vs %+v", trial, merged, whole)
+		}
+		scale := math.Max(1, math.Abs(whole.Mean()))
+		if math.Abs(merged.Mean()-whole.Mean()) > 1e-9*scale {
+			t.Fatalf("trial %d: mean %g vs %g", trial, merged.Mean(), whole.Mean())
+		}
+		vscale := math.Max(1, whole.Variance())
+		if math.Abs(merged.Variance()-whole.Variance()) > 1e-8*vscale {
+			t.Fatalf("trial %d: variance %g vs %g", trial, merged.Variance(), whole.Variance())
+		}
 	}
 }
