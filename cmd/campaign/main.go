@@ -11,6 +11,7 @@
 //	campaign -name cycle-cover -sizes 32,64,128 -trials 20 -seed 1
 //	campaign -name One-Way-Epidemic -kind process -sizes 64,128
 //	campaign -name simple-global-line -sizes 24 -faults "crash@576,crash@1152" -metric largest-component
+//	campaign -name cycle-cover -sizes 256 -topology gnp@0.05 -detector quiescence
 //	campaign -name global-star -sizes 256 -trials 200 -progress 2s -progress-out progress.ndjson
 //	campaign -spec sweep.json -checkpoint sweep.ckpt -resume
 //	campaign -list
@@ -62,8 +63,9 @@ func run() error {
 		sched    = flag.String("schedulers", "uniform", "comma-separated scheduler names")
 		metric   = flag.String("metric", "", "measured quantity (default: convergence-time for protocols, steps for processes)")
 		engine   = flag.String("engine", "auto", "execution path: auto, baseline, fast, sparse, or batch")
-		detector = flag.String("detector", "", "stability predicate: target (default), quiescence, or edge-quiescence; fault runs default to quiescence")
+		detector = flag.String("detector", "", "stability predicate: target (default), quiescence, or edge-quiescence; fault and restricted-topology runs default to quiescence")
 		faults   = flag.String("faults", "", `fault plan for every item, e.g. "crash@500x2,edge@0.001" (spec files carry their own "faults" field)`)
+		topology = flag.String("topology", "", `interaction topology for every item, e.g. "gnp@0.05", "rgg@0.1", "cm@4" (spec files carry their own "topology" field)`)
 		inclUnc  = flag.Bool("include-unconverged", false, "fold budget-exhausted runs' metric values into the aggregates (survivability sweeps)")
 		maxSteps = flag.Int64("max-steps", 0, "per-run step budget (0 = per-n default)")
 		workers  = flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
@@ -126,7 +128,7 @@ func run() error {
 		return fmt.Errorf("-resume requires -checkpoint")
 	}
 
-	spec, err := loadSpec(*specPath, *name, *kind, *sizes, *trials, *seed, *sched, *metric, *engine, *detector, *faults, *inclUnc, *maxSteps)
+	spec, err := loadSpec(*specPath, *name, *kind, *sizes, *trials, *seed, *sched, *metric, *engine, *detector, *faults, *topology, *inclUnc, *maxSteps)
 	if err != nil {
 		return err
 	}
@@ -252,11 +254,15 @@ func run() error {
 // flags. Spec files carry their own "engine", "detector" and "faults"
 // fields, so combining -spec with those flags is rejected rather than
 // silently ignored.
-func loadSpec(specPath, name, kind, sizes string, trials int, seed uint64, sched, metric, engine, detector, faults string, inclUnc bool, maxSteps int64) (campaign.Spec, error) {
+func loadSpec(specPath, name, kind, sizes string, trials int, seed uint64, sched, metric, engine, detector, faults, topology string, inclUnc bool, maxSteps int64) (campaign.Spec, error) {
 	if _, err := core.ParseEngine(engine); err != nil {
 		return campaign.Spec{}, err
 	}
 	plan, err := scenario.ParsePlan(faults)
+	if err != nil {
+		return campaign.Spec{}, err
+	}
+	topoSpec, err := core.ParseTopologySpec(topology)
 	if err != nil {
 		return campaign.Spec{}, err
 	}
@@ -269,6 +275,9 @@ func loadSpec(specPath, name, kind, sizes string, trials int, seed uint64, sched
 		}
 		if plan != nil {
 			return campaign.Spec{}, fmt.Errorf("-faults cannot be combined with -spec; set the spec's \"faults\" field instead")
+		}
+		if topoSpec != nil {
+			return campaign.Spec{}, fmt.Errorf("-topology cannot be combined with -spec; set the spec's \"topology\" field instead")
 		}
 		if inclUnc {
 			return campaign.Spec{}, fmt.Errorf("-include-unconverged cannot be combined with -spec; set the spec's \"include_unconverged\" field instead")
@@ -300,6 +309,7 @@ func loadSpec(specPath, name, kind, sizes string, trials int, seed uint64, sched
 		Engine:             engine,
 		Detector:           detector,
 		Faults:             plan,
+		Topology:           topoSpec,
 		IncludeUnconverged: inclUnc,
 		MaxSteps:           maxSteps,
 	}, nil

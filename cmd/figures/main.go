@@ -8,8 +8,10 @@
 //	fig7.dot     the U/D/M three-way partition
 //	fig8.txt     the (U,D,M) construction event trace
 //	supernodes.txt  the Theorem 18 layout and triangle application
+//	sparsity.txt    convergence vs expected degree under restricted
+//	                interaction topologies (the sparsity-sweep figure)
 //
-// Usage: figures [-n 16] [-seed 1] [-out figures/] [-engine auto]
+// Usage: figures [-n 16] [-seed 1] [-out figures/] [-engine auto] [-topology gnp]
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/protocols"
 	"repro/internal/tm"
 	"repro/internal/trace"
@@ -38,6 +41,7 @@ func run() error {
 		seed   = flag.Uint64("seed", 1, "RNG seed")
 		out    = flag.String("out", "figures", "output directory")
 		engine = flag.String("engine", "auto", "execution path for the snapshot runs: auto, baseline, fast, sparse, or batch")
+		topo   = flag.String("topology", "gnp", "topology model for the sparsity figure: gnp or rgg")
 	)
 	flag.Parse()
 	eng, err := core.ParseEngine(*engine)
@@ -60,7 +64,10 @@ func run() error {
 	if err := partitions(*n, *seed, *out, eng); err != nil {
 		return err
 	}
-	return supernodes(*seed, *out)
+	if err := supernodes(*seed, *out); err != nil {
+		return err
+	}
+	return sparsityFigure(*n, *seed, *out, eng, *topo)
 }
 
 // fig1 reproduces the spanning-star triptych: all-black start, a
@@ -155,6 +162,36 @@ func supernodes(seed uint64, out string) error {
 	log.Addf("triangle application: %d triangles", res.Triangles)
 	log.Addf("supernode-level graph: %v", res.SupernodeGraph)
 	return writeFile(out, "supernodes.txt", log.String()+"\n")
+}
+
+// sparsityFigure sweeps Simple-Global-Line and Cycle-Cover over
+// restricted interaction topologies of increasing expected degree and
+// writes the (degree, mean convergence time) series as a plain-text
+// data table — one block per protocol, gnuplot-friendly.
+func sparsityFigure(n int, seed uint64, out string, engine core.Engine, model string) error {
+	degrees := []float64{1, 2, 4, 8, float64(n - 1)}
+	points, err := experiments.SparsitySweep(n, degrees, model, 5, seed, engine)
+	if err != nil {
+		return err
+	}
+	var log trace.EventLog
+	log.Addf("# sparsity sweep: convergence time vs expected degree (model %s, n=%d)", model, n)
+	log.Addf("# degree ≥ n−1 is the complete-graph control row")
+	prev := ""
+	for _, p := range points {
+		if p.Protocol != prev {
+			log.Addf("")
+			log.Addf("# %s", p.Protocol)
+			log.Addf("# %-8s %-14s %-14s %-10s %s", "degree", "mean", "stderr", "converged", "topology")
+			prev = p.Protocol
+		}
+		topo := p.Topology
+		if topo == "" {
+			topo = "complete"
+		}
+		log.Addf("%-10g %-14.0f %-14.1f %-10d %s", p.Degree, p.Mean, p.StdErr, p.Converged, topo)
+	}
+	return writeFile(out, "sparsity.txt", log.String()+"\n")
 }
 
 func configDOT(p *core.Protocol, cfg *core.Config, name string) string {

@@ -10,6 +10,7 @@
 //	netsim -protocol simple-global-line -n 32 -faults "crash@500x2,edge@0.001"
 //	netsim -protocol simple-global-line -n 32 -trace run.ndjson
 //	netsim -protocol cycle-cover -n 32 -scheduler weighted
+//	netsim -protocol cycle-cover -n 64 -topology gnp@0.05
 //	netsim -list
 package main
 
@@ -47,7 +48,8 @@ func run() error {
 		engine   = flag.String("engine", "auto", "execution path: auto, baseline, fast, sparse, or batch")
 		sched    = flag.String("scheduler", "uniform", "scheduler: uniform, round-robin, permutation, weighted, or biased")
 		faults   = flag.String("faults", "", `fault plan, e.g. "crash@500x2,edge@0.001,reset@1000"`)
-		detector = flag.String("detector", "", "stability predicate: target (default), quiescence, or edge-quiescence; fault runs default to quiescence")
+		topology = flag.String("topology", "", `interaction topology: complete (default), "gnp@0.05", "rgg@0.1", or "cm@4"`)
+		detector = flag.String("detector", "", "stability predicate: target (default), quiescence, or edge-quiescence; fault and restricted-topology runs default to quiescence")
 		dot      = flag.Bool("dot", false, "print the final network as Graphviz DOT")
 		tracePth = flag.String("trace", "", "write an NDJSON event trace of a replayed trial to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -103,6 +105,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	topoSpec, err := core.ParseTopologySpec(*topology)
+	if err != nil {
+		return err
+	}
+	if err := topoSpec.Validate(*n); err != nil {
+		return err
+	}
+	if topoSpec != nil && topoSpec.Kind == core.TopoComplete {
+		topoSpec = nil // an explicit "complete" is the default path
+	}
 	det := c.Detector
 	detOverride, haveDet, err := campaign.ParseDetector(*detector)
 	switch {
@@ -110,17 +122,21 @@ func run() error {
 		return err
 	case haveDet:
 		det = detOverride
-	case *detector == "" && plan != nil:
-		// Target detectors assume the fault-free goal is reachable;
-		// under faults quiescence is the honest default stop rule. An
-		// explicit -detector target keeps the registry detector.
+	case *detector == "" && (plan != nil || topoSpec != nil):
+		// Target detectors assume the fault-free complete-graph goal is
+		// reachable; under faults or a restricted topology quiescence is
+		// the honest default stop rule. An explicit -detector target
+		// keeps the registry detector.
 		det = core.QuiescenceDetector()
-		fmt.Println("faults present: using the quiescence detector (override with -detector)")
+		fmt.Println("faults or topology present: using the quiescence detector (override with -detector)")
 	}
 	fmt.Printf("protocol %s (%d states) on n=%d, %d trial(s), %s engine, %s scheduler\n",
 		c.Proto.Name(), c.Proto.Size(), *n, *trials, eng, *sched)
 	if plan != nil {
 		fmt.Printf("fault plan: %s\n", plan)
+	}
+	if topoSpec != nil {
+		fmt.Printf("topology: %s (one realization per trial)\n", topoSpec)
 	}
 
 	// SIGINT/SIGTERM cancel in-flight trials instead of killing the
@@ -142,6 +158,7 @@ func run() error {
 		Engine:       eng,
 		NewScheduler: factory,
 		Faults:       plan,
+		Topology:     topoSpec,
 		Metric:       campaign.MetricConvergenceTime,
 	}}, campaign.Options{
 		Workers:    *workers,
@@ -190,6 +207,15 @@ func run() error {
 			replaySeed, measuredSteps = lastConvergedSeed, lastConvergedSteps
 		}
 		opts := core.Options{Seed: replaySeed, Engine: eng, Detector: det}
+		if topoSpec != nil {
+			// The campaign realized this trial's topology from its run
+			// seed; the same derivation reproduces the identical graph.
+			topo, err := topoSpec.Realize(*n, replaySeed)
+			if err != nil {
+				return err
+			}
+			opts.Topology = topo
+		}
 		proto := c.Proto
 		if factory != nil {
 			opts.Scheduler = factory()

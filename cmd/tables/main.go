@@ -8,7 +8,12 @@
 //     counts (verified programmatically) and measured convergence-time
 //     sweeps, plus the Section 7 Faster-vs-Fast comparison.
 //
-// Usage: tables [-trials 5] [-seed 1] [-quick] [-engine auto]
+// A fourth table reports the sparsity sweep: convergence of
+// Simple-Global-Line and Cycle-Cover under restricted interaction
+// topologies of increasing expected degree (-topology picks the
+// random-graph model).
+//
+// Usage: tables [-trials 5] [-seed 1] [-quick] [-engine auto] [-topology gnp]
 package main
 
 import (
@@ -35,6 +40,7 @@ func run() error {
 		seed   = flag.Uint64("seed", 1, "base RNG seed")
 		quick  = flag.Bool("quick", false, "smaller sweeps for a fast pass")
 		engine = flag.String("engine", "auto", "execution path: auto, baseline, fast, sparse, or batch")
+		topo   = flag.String("topology", "gnp", "topology model for the sparsity table: gnp or rgg")
 	)
 	flag.Parse()
 
@@ -50,7 +56,11 @@ func run() error {
 		return err
 	}
 	fmt.Println()
-	return fasterVsFast(*trials, *seed, *quick, eng)
+	if err := fasterVsFast(*trials, *seed, *quick, eng); err != nil {
+		return err
+	}
+	fmt.Println()
+	return sparsityTable(*trials, *seed, *quick, eng, *topo)
 }
 
 func table1(trials int, seed uint64, quick bool, engine core.Engine) error {
@@ -154,6 +164,33 @@ func fasterVsFast(trials int, seed uint64, quick bool, engine core.Engine) error
 	fmt.Printf("%-8s %-14s %-14s %s\n", "n", "Fast (9 st.)", "Faster (6 st.)", "speedup")
 	for i, n := range cmp.Sizes {
 		fmt.Printf("%-8d %-14.0f %-14.0f %.2fx\n", n, cmp.Fast[i], cmp.Faster[i], cmp.Fast[i]/cmp.Faster[i])
+	}
+	return nil
+}
+
+// sparsityTable reports the sparsity sweep: convergence of
+// Simple-Global-Line and Cycle-Cover under restricted interaction
+// topologies of increasing expected degree. The last row (degree
+// ≥ n−1) is the complete-graph control.
+func sparsityTable(trials int, seed uint64, quick bool, engine core.Engine, model string) error {
+	n := 24
+	if quick {
+		n = 12
+	}
+	degrees := []float64{2, 4, 8, float64(n - 1)}
+	points, err := experiments.SparsitySweep(n, degrees, model, trials, seed, engine)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Sparsity — convergence under restricted interaction graphs (model %s, n=%d)\n", model, n)
+	fmt.Printf("%-22s %-8s %-26s %-16s %s\n", "Protocol", "degree", "topology", "mean steps", "converged")
+	for _, p := range points {
+		topo := p.Topology
+		if topo == "" {
+			topo = "complete"
+		}
+		fmt.Printf("%-22s %-8g %-26s %-16.0f %d/%d\n",
+			p.Protocol, p.Degree, topo, p.Mean, p.Converged, p.Trials)
 	}
 	return nil
 }

@@ -239,6 +239,106 @@ func TestEngineEquivalenceFaults(t *testing.T) {
 	}
 }
 
+// TestEngineEquivalenceTopology extends the distributional-equivalence
+// net to restricted interaction graphs: edge-building subjects run
+// under a G(n,p) and a random-geometric topology spec (one realization
+// per trial, derived from the trial seed, so all engines see the same
+// graph sequence) and every indexed engine's metric law must match the
+// baseline's. On top of the 5σ band, sparse and batch must produce
+// bit-identical per-run records under a topology — the batch engine's
+// exact-fallback contract asserted through the campaign pipeline.
+//
+// CI greps this test's -v output for the topology= subtests (in
+// addition to the engine= greps), so the topology half of the suite
+// cannot silently stop running; keep the naming scheme in sync with
+// .github/workflows/ci.yml.
+func TestEngineEquivalenceTopology(t *testing.T) {
+	t.Parallel()
+	trials := 48
+	if testing.Short() {
+		trials = 16
+	}
+	specs := []string{"gnp@0.4", "rgg@0.5"}
+	subjects := []struct {
+		name string
+		c    protocols.Constructor
+		n    int
+	}{
+		{"cycle-cover", protocols.CycleCover(), 16},
+		{"spanning-net", protocols.SpanningNet(), 16},
+	}
+
+	execute := func(engine core.Engine, spec *core.TopologySpec) campaign.Outcome {
+		t.Helper()
+		points := make([]campaign.Point, 0, len(subjects))
+		for _, sub := range subjects {
+			points = append(points, campaign.Point{
+				Protocol: sub.name, N: sub.n, Trials: trials, BaseSeed: 1,
+				Proto: sub.c.Proto, Detector: core.QuiescenceDetector(),
+				Engine: engine, Topology: spec, Metric: campaign.MetricConvergenceTime,
+			})
+		}
+		out, err := campaign.Execute(context.Background(), points, campaign.Options{KeepRuns: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	for _, specText := range specs {
+		spec, err := core.ParseTopologySpec(specText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := execute(core.EngineBaseline, spec)
+		byEngine := make(map[core.Engine]campaign.Outcome, len(indexedEngines))
+		for _, engine := range indexedEngines {
+			engine := engine
+			subject := execute(engine, spec)
+			byEngine[engine] = subject
+			for i := range base.Aggregates {
+				b, f := base.Aggregates[i], subject.Aggregates[i]
+				name := fmt.Sprintf("topology=%s/%s/engine=%s", spec, b.Protocol, engine)
+				t.Run(name, func(t *testing.T) {
+					if b.Topology != spec.Label() || f.Topology != spec.Label() {
+						t.Fatalf("aggregate topology label: baseline %q, %s %q, want %q", b.Topology, engine, f.Topology, spec.Label())
+					}
+					if b.Converged != b.Trials || b.Failures != 0 || b.Stopped != 0 {
+						t.Fatalf("baseline convergence semantics under topology: %+v", b)
+					}
+					if f.Converged != f.Trials || f.Failures != 0 || f.Stopped != 0 {
+						t.Fatalf("%s convergence semantics under topology: %+v", engine, f)
+					}
+					diff := math.Abs(b.Mean - f.Mean)
+					bound := 5 * math.Hypot(b.StdErr, f.StdErr)
+					if diff > bound {
+						t.Fatalf("means diverged: baseline %.1f±%.1f vs %s %.1f±%.1f (|Δ|=%.1f > 5σ=%.1f)",
+							b.Mean, b.StdErr, engine, f.Mean, f.StdErr, diff, bound)
+					}
+				})
+			}
+		}
+		// Sparse-vs-batch bit-identity: with a topology attached the
+		// batch engine exact-steps every landing through the same
+		// indexed path as sparse, so the records must agree bit for bit
+		// (engine name, wall clock, and the batch-only fallback counter
+		// are the only legitimate differences).
+		sparseRuns, batchRuns := byEngine[core.EngineSparse].Runs, byEngine[core.EngineBatch].Runs
+		if len(sparseRuns) != len(batchRuns) {
+			t.Fatalf("topology=%s: record count mismatch: %d sparse vs %d batch", spec, len(sparseRuns), len(batchRuns))
+		}
+		for i := range sparseRuns {
+			a, b := sparseRuns[i], batchRuns[i]
+			a.Engine, b.Engine = "", ""
+			a.DurationNS, b.DurationNS = 0, 0
+			a.ExactFallbackLandings, b.ExactFallbackLandings = 0, 0
+			if a != b {
+				t.Fatalf("topology=%s: sparse and batch records diverged at %d:\nsparse %+v\nbatch  %+v", spec, i, a, b)
+			}
+		}
+	}
+}
+
 // TestWorkspaceCampaignEquivalence extends the equivalence net to the
 // zero-allocation trial pipeline: the full protocol/process grid run
 // through the campaign engine with its default per-worker reusable

@@ -193,6 +193,14 @@ type Point struct {
 	// the unaugmented protocol.
 	Faults *scenario.FaultPlan
 
+	// Topology, when non-nil, restricts every run of this point to a
+	// permitted interaction graph: each trial realizes its own random
+	// instance from the trial seed (core.TopologySpec.Realize), so
+	// trials sample independent graphs from the same model and stay
+	// reproducible. Nil means the complete graph — the classic
+	// population-protocol scheduler.
+	Topology *core.TopologySpec
+
 	// IncludeUnconverged additionally folds the metric of runs that
 	// exhausted their step budget into the aggregate (they still count
 	// as Failures). Survivability campaigns measure the final
@@ -242,6 +250,10 @@ type RunRecord struct {
 	FaultCrashes       int64  `json:"fault_crashes,omitempty"`
 	FaultEdgeDeletions int64  `json:"fault_edge_deletions,omitempty"`
 	FaultResets        int64  `json:"fault_resets,omitempty"`
+	// Topology is the point's interaction-topology spec in flag syntax
+	// ("" for the complete graph; each trial realizes its own instance
+	// from the trial seed).
+	Topology string `json:"topology,omitempty"`
 	// Engine telemetry from core.Result.Metrics. Only the
 	// mode-invariant counters appear here — fields like wall time or
 	// workspace resets would differ between allocation modes and break
@@ -300,6 +312,10 @@ type Aggregate struct {
 	// Faults labels the point's fault plan in flag syntax ("" without
 	// one), so fault sweeps stay distinguishable in exported series.
 	Faults string `json:"faults,omitempty"`
+	// Topology labels the point's interaction topology in flag syntax
+	// ("" for the complete graph), so sparsity sweeps stay
+	// distinguishable in exported series.
+	Topology string `json:"topology,omitempty"`
 	// Deterministic integer totals over this point's non-error runs
 	// (converged or not): scheduler steps, effective steps, geometric
 	// skips, and faults applied. Integer sums are order-independent, so
@@ -616,6 +632,7 @@ func Execute(ctx context.Context, points []Point, opts Options) (Outcome, error)
 			Scheduler: schedulerLabel(pt),
 			Expected:  pt.Expected,
 			Faults:    pt.Faults.String(),
+			Topology:  pt.Topology.Label(),
 		}
 	}
 	var firstErr, flushErr error
@@ -652,6 +669,7 @@ func Execute(ctx context.Context, points []Point, opts Options) (Outcome, error)
 				Scheduler: schedulerLabel(*pt),
 				Expected:  pt.Expected,
 				Faults:    pt.Faults.String(),
+				Topology:  pt.Topology.Label(),
 			},
 			Runs: make([]RunRecord, 0, s.Trials),
 		}
@@ -794,8 +812,8 @@ func prepare(points []Point) error {
 				return fmt.Errorf("campaign: point %d (%s): dynamic points require DynStable", i, pt.Protocol)
 			}
 			if pt.Engine != core.EngineAuto || pt.NewScheduler != nil || pt.Faults != nil ||
-				pt.Initial != nil || pt.Observer != nil {
-				return fmt.Errorf("campaign: point %d (%s): dynamic points run the dynamic engine under the uniform scheduler and support no engine, scheduler, fault or static-initial options", i, pt.Protocol)
+				pt.Initial != nil || pt.Observer != nil || pt.Topology != nil {
+				return fmt.Errorf("campaign: point %d (%s): dynamic points run the dynamic engine under the uniform scheduler and support no engine, scheduler, fault, topology or static-initial options", i, pt.Protocol)
 			}
 		case pt.Proto == nil:
 			return fmt.Errorf("campaign: point %d has no protocol", i)
@@ -815,6 +833,9 @@ func prepare(points []Point) error {
 				return fmt.Errorf("campaign: point %d (%s): %w", i, pt.Protocol, err)
 			}
 			pt.prepared = pr
+		}
+		if err := pt.Topology.Validate(pt.N); err != nil {
+			return fmt.Errorf("campaign: point %d (%s): %w", i, pt.Protocol, err)
 		}
 	}
 	return nil

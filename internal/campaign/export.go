@@ -20,7 +20,7 @@ func WriteAggregatesJSON(w io.Writer, aggs []Aggregate) error {
 func WriteAggregatesCSV(w io.Writer, aggs []Aggregate) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
-		"protocol", "n", "scheduler", "faults", "trials", "converged",
+		"protocol", "n", "scheduler", "faults", "topology", "trials", "converged",
 		"failures", "stopped", "panics", "mean", "stderr", "stddev", "min",
 		"max", "expected", "total_steps", "total_effective_steps",
 		"total_skipped_steps", "faults_applied",
@@ -33,6 +33,7 @@ func WriteAggregatesCSV(w io.Writer, aggs []Aggregate) error {
 			strconv.Itoa(a.N),
 			a.Scheduler,
 			a.Faults,
+			a.Topology,
 			strconv.Itoa(a.Trials),
 			strconv.Itoa(a.Converged),
 			strconv.Itoa(a.Failures),
@@ -68,7 +69,7 @@ func WriteRunsJSON(w io.Writer, runs []RunRecord) error {
 func WriteRunsCSV(w io.Writer, runs []RunRecord) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
-		"point", "protocol", "n", "scheduler", "faults", "trial", "seed",
+		"point", "protocol", "n", "scheduler", "faults", "topology", "trial", "seed",
 		"engine", "converged", "stopped", "steps", "convergence_time",
 		"effective_steps", "edge_changes", "skipped_steps", "skip_batches",
 		"sample_rejections", "sample_fallbacks", "bucket_draws",
@@ -85,6 +86,7 @@ func WriteRunsCSV(w io.Writer, runs []RunRecord) error {
 			strconv.Itoa(r.N),
 			r.Scheduler,
 			r.Faults,
+			r.Topology,
 			strconv.Itoa(r.Trial),
 			strconv.FormatUint(r.Seed, 10),
 			r.Engine,

@@ -198,6 +198,18 @@ func runAttempt(ctx context.Context, pt *Point, pointIdx, trial int, timeout tim
 		}
 		opts.Initial = initial
 	}
+	if pt.Topology != nil {
+		// Each trial realizes its own topology instance from the trial
+		// seed, so trials sample independent graphs from the same model
+		// and a record is reproducible from (spec, seed) alone.
+		topo, err := pt.Topology.Realize(pt.N, rec.Seed)
+		if err != nil {
+			rec.Err = err.Error()
+			return rec, false
+		}
+		opts.Topology = topo
+		rec.Topology = pt.Topology.Label()
+	}
 	proto := pt.Proto
 	var injection *scenario.Injection
 	if pt.prepared != nil {

@@ -105,10 +105,10 @@ func SpecHash(points []Point, shardTrials int) string {
 		if pt.Faults != nil {
 			faultSeed = pt.Faults.Seed
 		}
-		fmt.Fprintf(h, "point=%d proto=%q n=%d sched=%q trials=%d seed=%d max=%d check=%d engine=%q metric=%q gate=%d faults=%q faultseed=%d unconv=%t dyn=%t init=%t expected=%g\n",
+		fmt.Fprintf(h, "point=%d proto=%q n=%d sched=%q trials=%d seed=%d max=%d check=%d engine=%q metric=%q gate=%d faults=%q faultseed=%d topology=%q unconv=%t dyn=%t init=%t expected=%g\n",
 			i, pt.Protocol, pt.N, schedulerLabel(*pt), pt.Trials, pt.BaseSeed,
 			pt.MaxSteps, pt.CheckInterval, pt.Engine.String(), pt.MetricName,
-			int(pt.Detector.Gate), faults, faultSeed, pt.IncludeUnconverged,
+			int(pt.Detector.Gate), faults, faultSeed, pt.Topology.Label(), pt.IncludeUnconverged,
 			pt.DynProto != nil, pt.Initial != nil, pt.Expected)
 	}
 	return hex.EncodeToString(h.Sum(nil))
@@ -137,9 +137,9 @@ func buildVersion() string {
 // the moments for a fixed merge order. The identity labels must match;
 // a keeps its own metadata (Expected).
 func (a *Aggregate) Merge(b Aggregate) error {
-	if a.Protocol != b.Protocol || a.N != b.N || a.Scheduler != b.Scheduler || a.Faults != b.Faults {
-		return fmt.Errorf("campaign: cannot merge aggregate %s/n=%d/%s/faults=%q into %s/n=%d/%s/faults=%q",
-			b.Protocol, b.N, b.Scheduler, b.Faults, a.Protocol, a.N, a.Scheduler, a.Faults)
+	if a.Protocol != b.Protocol || a.N != b.N || a.Scheduler != b.Scheduler || a.Faults != b.Faults || a.Topology != b.Topology {
+		return fmt.Errorf("campaign: cannot merge aggregate %s/n=%d/%s/faults=%q/topology=%q into %s/n=%d/%s/faults=%q/topology=%q",
+			b.Protocol, b.N, b.Scheduler, b.Faults, b.Topology, a.Protocol, a.N, a.Scheduler, a.Faults, a.Topology)
 	}
 	a.Trials += b.Trials
 	a.Converged += b.Converged

@@ -60,6 +60,11 @@ type Spec struct {
 	// Faults, when non-nil, injects this fault plan into every item
 	// (overridable per item). See scenario.FaultPlan.
 	Faults *scenario.FaultPlan `json:"faults,omitempty"`
+	// Topology restricts every item's runs to a permitted interaction
+	// graph, in the flag syntax of core.ParseTopologySpec ("complete",
+	// "gnp@0.05", "rgg@0.1", "cm@4"); absent means the complete graph.
+	// Overridable per item.
+	Topology *core.TopologySpec `json:"topology,omitempty"`
 	// IncludeUnconverged folds budget-exhausted runs' metric values
 	// into the aggregates too (see Point.IncludeUnconverged) — the
 	// survivability convention for fault sweeps measured at a fixed
@@ -87,6 +92,10 @@ type Item struct {
 	Engine   string              `json:"engine,omitempty"`
 	Detector string              `json:"detector,omitempty"`
 	Faults   *scenario.FaultPlan `json:"faults,omitempty"`
+	// Topology overrides the spec-level topology for this item. An
+	// explicit "complete" opts the item out of a spec-level restriction
+	// — the control row of a sparsity sweep.
+	Topology *core.TopologySpec `json:"topology,omitempty"`
 }
 
 // ParseSpec decodes a JSON spec, rejecting unknown fields.
@@ -218,6 +227,16 @@ func (s Spec) Compile() ([]Point, error) {
 				return nil, fmt.Errorf("campaign: item %d (%q): %w", i, item.Name, err)
 			}
 		}
+		topology := item.Topology
+		if topology == nil {
+			topology = s.Topology
+		}
+		if topology != nil && (topology.Kind == "" || topology.Kind == core.TopoComplete) {
+			// An explicit "complete" normalizes to the nil spec, so the
+			// point — and its records — look exactly like a pre-topology
+			// campaign's.
+			topology = nil
+		}
 		for _, n := range item.Sizes {
 			for _, schedName := range schedulers {
 				factory, err := SchedulerFactory(schedName)
@@ -230,6 +249,15 @@ func (s Spec) Compile() ([]Point, error) {
 				if err := engine.ValidateN(n); err != nil {
 					return nil, fmt.Errorf("campaign: item %d (%q): %w", i, item.Name, err)
 				}
+				if err := topology.Validate(n); err != nil {
+					return nil, fmt.Errorf("campaign: item %d (%q): %w", i, item.Name, err)
+				}
+				if topology != nil && (schedName == "weighted" || schedName == "biased") {
+					// Mirrors core.Run's whitelist: the rate- and
+					// bias-weighted schedulers draw over the full pair space
+					// and have no restricted form.
+					return nil, fmt.Errorf("campaign: item %d (%q): the %q scheduler does not support a restricted topology", i, item.Name, schedName)
+				}
 				pt := Point{
 					N:                  n,
 					Scheduler:          schedName,
@@ -239,6 +267,7 @@ func (s Spec) Compile() ([]Point, error) {
 					Engine:             engine,
 					NewScheduler:       factory,
 					Faults:             faults,
+					Topology:           topology,
 					IncludeUnconverged: s.IncludeUnconverged,
 				}
 				if pt.Scheduler == "" {
@@ -250,11 +279,11 @@ func (s Spec) Compile() ([]Point, error) {
 				switch {
 				case haveDet:
 					pt.Detector = detOverride
-				case detectorName == "" && faults != nil:
-					// Target detectors assume the fault-free goal is
-					// reachable; under faults quiescence is the honest
-					// default stop rule. An explicit "target" keeps the
-					// registry detector even with faults present.
+				case detectorName == "" && (faults != nil || topology != nil):
+					// Target detectors assume the fault-free complete-graph
+					// goal is reachable; under faults or a restricted
+					// topology quiescence is the honest default stop rule.
+					// An explicit "target" keeps the registry detector.
 					pt.Detector = core.QuiescenceDetector()
 				}
 				if faults.HasCrashes() && pt.Initial != nil {

@@ -95,8 +95,12 @@ func (pl *bucketPlan) drawCell(rng *RNG) int32 {
 // census-changing transition bit-identical to the sparse engine).
 // Result.Engine still reports EngineBatch and
 // Metrics.ExactFallbackLandings counts every landing as exact-stepped.
+// A restricted topology routes to the exact path too: the pure batch
+// plan allocates landings to class sub-buckets by whole-class pair
+// counts, which a permitted-pair restriction reshapes per class — the
+// exact path stays bit-identical to EngineSparse under any topology.
 func runBatch(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, interval int64, rng *RNG) (Result, error) {
-	exact := opts.Events != nil || opts.Observer != nil || opts.Injector != nil || !p.Batchable()
+	exact := opts.Events != nil || opts.Observer != nil || opts.Injector != nil || opts.Topology != nil || !p.Batchable()
 	if exact {
 		var ix *ClassIndex
 		if ws := opts.Workspace; ws != nil {

@@ -36,6 +36,18 @@ const maxSparseNodes = 1 << 20
 // saturate a class, in which case the walk is O(A) and A is bounded by
 // the edge count). Nothing scales with n² — the whole point.
 //
+// Under a restricted topology (cfg.Topology() non-nil) the population
+// products no longer count schedulable pairs, so P(q₁,q₂) is replaced
+// by a materialized census of the *permitted* pairs: every permitted
+// pair lives in a per-class bucket (pairCnt/pairList/pairSlot, the
+// exact mirror of the active-edge buckets), moved between classes in
+// O(deg_topo) when an endpoint changes state. Non-edge sampling then
+// draws from the class's permitted-pair bucket by rejection against
+// the active edges (active ⊆ permitted — an invariant Run enforces on
+// the initial configuration and interactions preserve, since only
+// permitted pairs are ever scheduled). The complete-graph path is
+// untouched: every topology branch is behind a nil check.
+//
 // Like PairIndex, a ClassIndex is bound to the Config it was built
 // from and must be notified (Update) after every effective interaction;
 // mutating the Config behind its back invalidates it. It is not safe
@@ -56,6 +68,14 @@ type ClassIndex struct {
 	edgeCount []int64
 	edgeList  [][]uint64
 	edgeSlot  map[uint64]int32
+
+	// Permitted pairs bucketed by class — populated only under a
+	// restricted topology (topo non-nil): pairCnt is P(q₁,q₂) restricted
+	// to permitted pairs, pairList/pairSlot mirror edgeList/edgeSlot.
+	topo     *Topology
+	pairCnt  []int64
+	pairList [][]uint64
+	pairSlot map[uint64]int32
 
 	// w and we cache each class's enabled / edge-enabled pair count per
 	// edge bit (index 2·id + edgeBit); enabled and edgeEnabled are
@@ -124,9 +144,33 @@ func (ci *ClassIndex) reset(cfg *Config) {
 	ci.enabled, ci.edgeEnabled = 0, 0
 	ci.rejections, ci.fallbacks = 0, 0
 
+	ci.topo = cfg.topo
+	if ci.topo != nil {
+		if ci.pairSlot == nil {
+			ci.pairSlot = make(map[uint64]int32)
+		} else {
+			clear(ci.pairSlot)
+		}
+		if len(ci.pairCnt) != q*q {
+			ci.pairCnt = make([]int64, q*q)
+			ci.pairList = make([][]uint64, q*q)
+		} else {
+			for i := range ci.pairList {
+				ci.pairCnt[i] = 0
+				ci.pairList[i] = ci.pairList[i][:0]
+			}
+		}
+	}
+
 	for u, s := range cfg.nodes {
 		ci.slot[u] = int32(len(ci.byState[s]))
 		ci.byState[s] = append(ci.byState[s], int32(u))
+	}
+	if ci.topo != nil {
+		for _, p := range ci.topo.pairs {
+			u, v := int(p>>32), int(p&0xffffffff)
+			ci.insertPair(u, v, ci.classID(cfg.nodes[u], cfg.nodes[v]))
+		}
 	}
 	cfg.store.forEach(func(u, v int) {
 		ci.insertEdge(u, v, ci.classID(cfg.nodes[u], cfg.nodes[v]))
@@ -195,6 +239,52 @@ func (ci *ClassIndex) moveEdge(u, v, fromID, toID int) {
 	ci.insertEdge(u, v, toID)
 }
 
+// insertPair / removePair / movePair maintain the permitted-pair
+// buckets under a restricted topology, mirroring the active-edge
+// bucket operations exactly.
+
+func (ci *ClassIndex) insertPair(u, v, id int) {
+	key := packEdge(u, v)
+	ci.pairSlot[key] = int32(len(ci.pairList[id]))
+	ci.pairList[id] = append(ci.pairList[id], key)
+	ci.pairCnt[id]++
+}
+
+func (ci *ClassIndex) removePair(u, v, id int) {
+	key := packEdge(u, v)
+	slot := ci.pairSlot[key]
+	list := ci.pairList[id]
+	last := list[len(list)-1]
+	list[slot] = last
+	ci.pairSlot[last] = slot
+	ci.pairList[id] = list[:len(list)-1]
+	delete(ci.pairSlot, key)
+	ci.pairCnt[id]--
+}
+
+func (ci *ClassIndex) movePair(u, v, fromID, toID int) {
+	if fromID == toID {
+		return
+	}
+	ci.removePair(u, v, fromID)
+	ci.insertPair(u, v, toID)
+}
+
+// movePairsOf re-classes the permitted pairs incident to node u after
+// its state changed from `from` to `to`; the pair {u, skip} (the
+// interaction partner, whose own state may also have changed) is
+// handled separately by the caller. O(deg_topo(u)).
+func (ci *ClassIndex) movePairsOf(u int, from, to State, skip int) {
+	cfg := ci.cfg
+	for _, x := range ci.topo.adj[u] {
+		if int(x) == skip {
+			continue
+		}
+		sx := cfg.nodes[x]
+		ci.movePair(u, int(x), ci.classID(from, sx), ci.classID(to, sx))
+	}
+}
+
 func (ci *ClassIndex) moveNode(u int, from, to State) {
 	list := ci.byState[from]
 	s := ci.slot[u]
@@ -214,10 +304,16 @@ func (ci *ClassIndex) reweigh(a, b int) {
 	id := a*ci.q + b
 	cfg := ci.cfg
 	var pairs int64
-	if a == b {
+	switch {
+	case ci.topo != nil:
+		// Restricted topology: the population product over-counts pairs
+		// the scheduler can never draw, so the permitted-pair census is
+		// the class's pair count instead.
+		pairs = ci.pairCnt[id]
+	case a == b:
 		k := int64(cfg.counts[a])
 		pairs = k * (k - 1) / 2
-	} else {
+	default:
 		pairs = int64(cfg.counts[a]) * int64(cfg.counts[b])
 	}
 	act := ci.edgeCount[id]
@@ -281,6 +377,9 @@ func (ci *ClassIndex) Update(u, v int, beforeU, beforeV State, edgeChanged bool)
 			sx := cfg.nodes[x]
 			ci.moveEdge(u, x, ci.classID(beforeU, sx), ci.classID(afterU, sx))
 		}
+		if ci.topo != nil {
+			ci.movePairsOf(u, beforeU, afterU, v)
+		}
 	}
 	if afterV != beforeV {
 		ci.moveNode(v, beforeV, afterV)
@@ -292,6 +391,14 @@ func (ci *ClassIndex) Update(u, v int, beforeU, beforeV State, edgeChanged bool)
 			sx := cfg.nodes[x]
 			ci.moveEdge(v, x, ci.classID(beforeV, sx), ci.classID(afterV, sx))
 		}
+		if ci.topo != nil {
+			ci.movePairsOf(v, beforeV, afterV, u)
+		}
+	}
+	// The scheduled pair {u, v} is itself permitted; re-class it once
+	// with both endpoints' before/after states.
+	if ci.topo != nil && (afterU != beforeU || afterV != beforeV) {
+		ci.movePair(u, v, ci.classID(beforeU, beforeV), ci.classID(afterU, afterV))
 	}
 	switch {
 	case edgeBefore && edgeNow:
@@ -341,6 +448,9 @@ func (ci *ClassIndex) NodeChanged(u int, before State) {
 		sx := ci.cfg.nodes[x]
 		ci.moveEdge(u, x, ci.classID(before, sx), ci.classID(after, sx))
 	}
+	if ci.topo != nil {
+		ci.movePairsOf(u, before, after, -1)
+	}
 	ci.reweighState(before)
 	ci.reweighState(after)
 }
@@ -372,6 +482,9 @@ func (ci *ClassIndex) Sample(rng *RNG) (u, v int) {
 		for b := a; b < ci.q; b++ {
 			id := a*ci.q + b
 			if w := ci.w[2*id]; r < w {
+				if ci.topo != nil {
+					return ci.sampleNonEdgeTopo(id, rng)
+				}
 				return ci.sampleNonEdge(a, b, rng)
 			} else {
 				r -= w
@@ -396,6 +509,40 @@ func (ci *ClassIndex) Sample(rng *RNG) (u, v int) {
 func (ci *ClassIndex) sampleNonEdge(a, b int, rng *RNG) (int, int) {
 	return sampleNonEdgeClass(ci.cfg, ci.byState[a], ci.byState[b], a == b,
 		ci.edgeCount[a*ci.q+b], rng, &ci.rejections, &ci.fallbacks)
+}
+
+// sampleNonEdgeTopo draws a uniformly random permitted non-edge pair
+// within class id under a restricted topology: rejection from the
+// class's permitted-pair bucket (expected O(1) while non-edges
+// dominate), falling back to an exact counted walk over the bucket
+// when active edges saturate it — the walk is O(pairCnt[id]) and only
+// triggers in edge-dense classes, mirroring sampleNonEdgeClass's
+// cost argument. Active ⊆ permitted guarantees the rejection test is
+// exact: every active edge of the class sits in this bucket.
+func (ci *ClassIndex) sampleNonEdgeTopo(id int, rng *RNG) (int, int) {
+	list := ci.pairList[id]
+	const tries = 64
+	for t := 0; t < tries; t++ {
+		key := list[rng.IntN(len(list))]
+		u, v := int(key>>32), int(key&0xffffffff)
+		if !ci.cfg.store.get(u, v) {
+			return orient(u, v, rng)
+		}
+		ci.rejections++
+	}
+	ci.fallbacks++
+	t := rng.Int64N(ci.pairCnt[id] - ci.edgeCount[id])
+	for _, key := range list {
+		u, v := int(key>>32), int(key&0xffffffff)
+		if ci.cfg.store.get(u, v) {
+			continue
+		}
+		if t == 0 {
+			return orient(u, v, rng)
+		}
+		t--
+	}
+	panic("core: permitted non-edge count inconsistent with class weights")
 }
 
 // sampleNonEdgeClass is the class-internal non-edge draw shared by

@@ -23,6 +23,13 @@ type Config struct {
 	degree      []int32
 	counts      []int // population per state
 	activeEdges int
+
+	// topo, when non-nil, restricts the interaction graph to its
+	// permitted pairs: schedulers draw only permitted pairs and the
+	// quiescence scans range over them. Nil means the paper's complete
+	// interaction graph. Run assigns it from Options.Topology; it is a
+	// shared immutable reference, so clones and copies alias it.
+	topo *Topology
 }
 
 // NewConfig returns the initial configuration on n nodes: every node in
@@ -54,6 +61,7 @@ func (c *Config) Clone() *Config {
 		degree:      make([]int32, len(c.degree)),
 		counts:      make([]int, len(c.counts)),
 		activeEdges: c.activeEdges,
+		topo:        c.topo,
 	}
 	copy(d.nodes, c.nodes)
 	copy(d.degree, c.degree)
@@ -78,6 +86,7 @@ func (c *Config) resetDefault(p *Protocol) {
 	c.counts = resizeCounts(c.counts, p.Size())
 	c.counts[p.initial] = c.n
 	c.activeEdges = 0
+	c.topo = nil
 }
 
 // copyFrom makes c an in-place deep copy of src — Clone's result
@@ -94,6 +103,7 @@ func (c *Config) copyFrom(src *Config) {
 	// would wipe src.counts first when src aliases the receiver.
 	c.counts = append(c.counts[:0], src.counts...)
 	c.activeEdges = src.activeEdges
+	c.topo = src.topo
 }
 
 // resizeCounts returns a zeroed int slice of length size, reusing dst's
@@ -111,6 +121,11 @@ func resizeCounts(dst []int, size int) []int {
 
 // Protocol returns the protocol this configuration belongs to.
 func (c *Config) Protocol() *Protocol { return c.proto }
+
+// Topology returns the restricted interaction graph the run executes
+// under, nil for the complete graph. Custom schedulers must restrict
+// their draws to its permitted pairs when it is non-nil.
+func (c *Config) Topology() *Topology { return c.topo }
 
 // N returns the population size.
 func (c *Config) N() int { return c.n }
@@ -236,9 +251,20 @@ func (c *Config) Apply(u, v int, rng *RNG) (effective, edgeChanged bool) {
 }
 
 // Quiescent reports whether no effective transition is applicable on
-// any pair — full quiescence, a sufficient condition for stability.
-// O(n²).
+// any pair the scheduler can draw — full quiescence, a sufficient
+// condition for stability. O(n²) on the complete graph, O(m) under a
+// restricted topology (non-permitted pairs are never scheduled, so
+// they cannot break quiescence).
 func (c *Config) Quiescent() bool {
+	if t := c.topo; t != nil {
+		for _, p := range t.pairs {
+			u, v := int(p>>32), int(p&0xffffffff)
+			if c.proto.EffectiveOn(c.nodes[u], c.nodes[v], c.Edge(u, v)) {
+				return false
+			}
+		}
+		return true
+	}
 	for u := 0; u < c.n; u++ {
 		for v := u + 1; v < c.n; v++ {
 			if c.proto.EffectiveOn(c.nodes[u], c.nodes[v], c.Edge(u, v)) {
@@ -251,8 +277,18 @@ func (c *Config) Quiescent() bool {
 
 // EdgeQuiescent reports whether no applicable transition would change
 // any edge state. Weaker than Quiescent: node states may still evolve
-// (e.g. a leader walking along a stable line). O(n²).
+// (e.g. a leader walking along a stable line). O(n²) on the complete
+// graph, O(m) under a restricted topology.
 func (c *Config) EdgeQuiescent() bool {
+	if t := c.topo; t != nil {
+		for _, p := range t.pairs {
+			u, v := int(p>>32), int(p&0xffffffff)
+			if c.proto.EdgeEffectiveOn(c.nodes[u], c.nodes[v], c.Edge(u, v)) {
+				return false
+			}
+		}
+		return true
+	}
 	for u := 0; u < c.n; u++ {
 		for v := u + 1; v < c.n; v++ {
 			if c.proto.EdgeEffectiveOn(c.nodes[u], c.nodes[v], c.Edge(u, v)) {

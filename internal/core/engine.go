@@ -108,6 +108,17 @@ type Options struct {
 	// TriggerInterval detection and Stop polling; 0 means
 	// DefaultCheckInterval(n).
 	CheckInterval int64
+	// Topology, when non-nil, restricts the interaction graph to its
+	// permitted pairs: the uniform scheduler draws uniformly over them,
+	// round-robin and permutation schedules cycle over them, and the
+	// indexed engines count enabled pairs within the permitted set (the
+	// batch engine exact-steps, bit-identical to EngineSparse). Nil is
+	// the paper's complete interaction graph. The topology's population
+	// must equal n, it must permit at least one pair (when n > 1), rate-
+	// based schedulers (weighted, biased) reject it, and any Initial
+	// configuration's active edges must all be permitted pairs — the
+	// engines rely on active ⊆ permitted to stay consistent.
+	Topology *Topology
 	// Initial, when non-nil, replaces the all-q0 initial configuration
 	// (e.g. Graph-Replication's input graph). It is cloned, not
 	// mutated.
@@ -278,6 +289,37 @@ func Run(p *Protocol, n int, opts Options) (Result, error) {
 	sched := opts.Scheduler
 	if sched == nil {
 		sched = UniformScheduler{}
+	}
+	// The restricted-topology contract: matching population, at least
+	// one pair to schedule, a scheduler that knows how to restrict its
+	// draws, and no initial active edge outside the permitted set (the
+	// engines' indexes rely on active ⊆ permitted). cfg.topo is assigned
+	// unconditionally so a reused workspace configuration cannot carry a
+	// previous run's topology.
+	cfg.topo = opts.Topology
+	if t := opts.Topology; t != nil {
+		if t.N() != n {
+			return Result{}, fmt.Errorf("core: topology has %d nodes, want %d", t.N(), n)
+		}
+		if n > 1 && t.PairCount() == 0 {
+			return Result{}, errors.New("core: topology permits no pairs; no interaction can ever be scheduled")
+		}
+		switch sched.(type) {
+		case UniformScheduler, *UniformScheduler, *RoundRobinScheduler, *PermutationScheduler:
+		default:
+			return Result{}, fmt.Errorf("core: the %s scheduler does not support a restricted topology", sched.Name())
+		}
+		if opts.Initial != nil && cfg.activeEdges > 0 {
+			badU, badV := -1, -1
+			cfg.store.forEach(func(u, v int) {
+				if badU < 0 && !t.Contains(u, v) {
+					badU, badV = u, v
+				}
+			})
+			if badU >= 0 {
+				return Result{}, fmt.Errorf("core: initial configuration has active edge {%d, %d} outside the permitted topology", badU, badV)
+			}
+		}
 	}
 	engine := opts.Engine
 	switch engine {

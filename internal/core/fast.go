@@ -254,7 +254,16 @@ func skipRange(res *Result, events EventSink, ev *Event, from, to int64) {
 func indexedLoop(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, interval int64, rng *RNG, ix pairSampler, engine Engine, mut *Mutator, ev *Event) Result {
 	n := cfg.n
 	res := Result{Final: cfg, Engine: engine}
+	// total is the scheduler's per-draw pair universe: n(n−1)/2 on the
+	// complete interaction graph, the permitted-pair count under a
+	// restricted topology. Either way it is a run constant, so the
+	// geometric-skip law below (miss run ~ Geometric(m/total)) is exact
+	// per census-frozen stretch — the skip argument never depended on
+	// the universe being the complete graph, only on it being fixed.
 	total := float64(n) * float64(n-1) / 2
+	if t := cfg.topo; t != nil {
+		total = float64(t.PairCount())
+	}
 	events := opts.Events
 
 	// stable evaluates the detector (through its O(1) gate when it has

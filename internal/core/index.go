@@ -87,6 +87,17 @@ func (ix *PairIndex) reset(cfg *Config) {
 	}
 	ix.list = ix.list[:0]
 	ix.edgeEnabled = 0
+	// Under a restricted topology only permitted pairs can ever be
+	// scheduled, so only they are indexed: the build is O(m_topo) table
+	// lookups and every non-permitted pair stays disabled (pos = −1)
+	// forever. The pos/list/edgeBits layout is unchanged — triangular
+	// indexing with sparse occupancy.
+	if t := cfg.topo; t != nil {
+		for _, p := range t.pairs {
+			ix.refresh(int(p>>32), int(p&0xffffffff))
+		}
+		return
+	}
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			ix.refresh(u, v)
@@ -140,8 +151,21 @@ func (ix *PairIndex) Sample(rng *RNG) (u, v int) {
 // Update refreshes the index after an interaction was applied to the
 // pair {u, v}: only the states of u and v and the edge {u, v} can have
 // changed, so only the 2n−3 pairs incident to u or v are rescanned —
-// O(n) table lookups per effective step.
+// O(n) table lookups per effective step. Under a restricted topology
+// the rescan ranges over the permitted pairs incident to u or v
+// instead: O(deg_topo(u) + deg_topo(v)).
 func (ix *PairIndex) Update(u, v int) {
+	if t := ix.cfg.topo; t != nil {
+		for _, x := range t.adj[u] {
+			ix.refresh(u, int(x))
+		}
+		for _, x := range t.adj[v] {
+			if int(x) != u {
+				ix.refresh(v, int(x))
+			}
+		}
+		return
+	}
 	n := ix.cfg.n
 	for x := 0; x < n; x++ {
 		if x != u {
@@ -156,16 +180,29 @@ func (ix *PairIndex) Update(u, v int) {
 // UpdateEdge refreshes the index after an interaction that changed
 // only the edge {u, v}, neither endpoint's state: no other pair's
 // enabling triple involves that edge, so only this pair is rescanned —
-// O(1) instead of Update's O(n).
+// O(1) instead of Update's O(n). Under a restricted topology a
+// non-permitted pair is skipped outright: it can never be scheduled,
+// so its entry stays disabled no matter what its edge does (reachable
+// only through out-of-band mutations).
 func (ix *PairIndex) UpdateEdge(u, v int) {
+	if t := ix.cfg.topo; t != nil && !t.Contains(u, v) {
+		return
+	}
 	ix.refresh(u, v)
 }
 
 // UpdateNode refreshes the index after an out-of-band write to node
 // u's state (scenario faults applied through a Mutator): only the
 // n−1 pairs incident to u can have changed enabledness, so only they
-// are rescanned — the single-node half of Update, O(n).
+// are rescanned — the single-node half of Update, O(n), or
+// O(deg_topo(u)) under a restricted topology.
 func (ix *PairIndex) UpdateNode(u int) {
+	if t := ix.cfg.topo; t != nil {
+		for _, x := range t.adj[u] {
+			ix.refresh(u, int(x))
+		}
+		return
+	}
 	for x := 0; x < ix.cfg.n; x++ {
 		if x != u {
 			ix.refresh(u, x)

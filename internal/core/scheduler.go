@@ -15,11 +15,16 @@ type Scheduler interface {
 
 // UniformScheduler is the paper's uniform random scheduler: every one
 // of the n(n−1)/2 pairs is selected independently and uniformly at
-// random each step. It is fair with probability 1.
+// random each step. It is fair with probability 1. Under a restricted
+// topology the draw is uniform over the permitted pairs instead — the
+// same law conditioned on the restricted interaction graph.
 type UniformScheduler struct{}
 
 // Next implements Scheduler.
 func (UniformScheduler) Next(cfg *Config, rng *RNG) (int, int) {
+	if t := cfg.topo; t != nil {
+		return t.SamplePair(rng)
+	}
 	return rng.Pair(cfg.N())
 }
 
@@ -36,6 +41,14 @@ type RoundRobinScheduler struct {
 
 // Next implements Scheduler.
 func (s *RoundRobinScheduler) Next(cfg *Config, _ *RNG) (int, int) {
+	if t := cfg.topo; t != nil {
+		u, v := t.PairAt(s.next)
+		s.next++
+		if s.next >= t.PairCount() {
+			s.next = 0
+		}
+		return u, v
+	}
 	n := cfg.N()
 	u, v := pairFromIndex(n, s.next)
 	s.next++
@@ -59,13 +72,20 @@ type PermutationScheduler struct {
 // Next implements Scheduler.
 func (s *PermutationScheduler) Next(cfg *Config, rng *RNG) (int, int) {
 	n := cfg.N()
-	if s.pos >= len(s.order) || len(s.order) != pairCount(n) {
-		s.order = rng.Perm(pairCount(n))
+	pc := pairCount(n)
+	if t := cfg.topo; t != nil {
+		pc = t.PairCount()
+	}
+	if s.pos >= len(s.order) || len(s.order) != pc {
+		s.order = rng.Perm(pc)
 		s.pos = 0
 	}
-	u, v := pairFromIndex(n, s.order[s.pos])
+	idx := s.order[s.pos]
 	s.pos++
-	return u, v
+	if t := cfg.topo; t != nil {
+		return t.PairAt(idx)
+	}
+	return pairFromIndex(n, idx)
 }
 
 // Name implements Scheduler.

@@ -48,6 +48,7 @@ type Workspace struct {
 	snapValid       bool
 	snapProto       *Protocol
 	snapN           int
+	snapTopo        *Topology
 	snapPos         []int32
 	snapList        []uint32
 	snapBits        bitset
@@ -101,7 +102,7 @@ func (ws *Workspace) rngFor(seed uint64) *RNG {
 // refresh the snapshot otherwise, so only the first trial of a point
 // pays the scan.
 func (ws *Workspace) pairIndex(cfg *Config, defaultStart bool) (*PairIndex, bool) {
-	if defaultStart && ws.snapValid && ws.snapProto == cfg.proto && ws.snapN == cfg.n && ws.pair != nil {
+	if defaultStart && ws.snapValid && ws.snapProto == cfg.proto && ws.snapN == cfg.n && ws.snapTopo == cfg.topo && ws.pair != nil {
 		ws.resets++
 		ws.pair.restore(cfg, ws.snapPos, ws.snapList, ws.snapBits, ws.snapEdgeEnabled)
 		return ws.pair, true
@@ -116,6 +117,7 @@ func (ws *Workspace) pairIndex(cfg *Config, defaultStart bool) (*PairIndex, bool
 		ws.snapValid = true
 		ws.snapProto = cfg.proto
 		ws.snapN = cfg.n
+		ws.snapTopo = cfg.topo
 		ws.snapPos = append(ws.snapPos[:0], ws.pair.pos...)
 		ws.snapList = append(ws.snapList[:0], ws.pair.list...)
 		ws.snapBits = append(ws.snapBits[:0], ws.pair.edgeBits...)

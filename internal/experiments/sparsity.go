@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/protocols"
+)
+
+// SparsityPoint is one cell of a sparsity sweep: convergence-time
+// statistics of one protocol under a restricted interaction topology
+// of a given expected degree.
+type SparsityPoint struct {
+	// Protocol names the constructor measured at this cell.
+	Protocol string
+	// Degree is the expected degree the topology was tuned to; Topology
+	// is the realized spec in flag syntax ("" for the complete control
+	// row).
+	Degree   float64
+	Topology string
+	// Mean and StdErr summarize the convergence time (the paper's
+	// running time) over the measured runs — converged ones plus
+	// budget-cut ones, see campaign.Point.IncludeUnconverged.
+	Mean   float64
+	StdErr float64
+	// Trials and Converged report the sample size and how many runs
+	// reached quiescence within the 32·n⁴ budget. Sparse topologies are
+	// often disconnected, where the target network is unreachable and
+	// leaders can walk forever, so the budget cut is part of the
+	// measurement, not a failure.
+	Trials    int
+	Converged int
+}
+
+// SparsitySweep measures how interaction sparsity slows the paper's
+// constructors: Simple-Global-Line (Protocol 1) and Cycle-Cover
+// (Protocol 4) run to quiescence under restricted interaction graphs
+// of increasing expected degree, and the sweep reports convergence
+// time per (protocol, degree) cell. model selects the topology family:
+// "gnp" tunes the G(n,p) edge probability to p = d/(n−1), "rgg" the
+// geometric radius to r = √(d/(π(n−1))) (the unit-square expected-
+// degree law away from the boundary). A degree d ≥ n−1 compiles to the
+// complete graph — the classic scheduler, and the sweep's control row.
+//
+// Every trial realizes its own random graph from the trial seed, so
+// the statistics average over both the protocol's schedule and the
+// topology ensemble. Runs are measured under the quiescence detector
+// with a fixed 32·n⁴ step budget: below the connectivity threshold
+// the goal network is unreachable and some runs never quiesce (a
+// trapped leader keeps walking), so budget-cut runs fold into the
+// statistics at the cut (campaign.Point.IncludeUnconverged) exactly
+// like the fault sweep's.
+func SparsitySweep(n int, degrees []float64, model string, trials int, seed uint64, engine core.Engine) ([]SparsityPoint, error) {
+	if model != core.TopoGnp && model != core.TopoRGG {
+		return nil, fmt.Errorf("experiments: sparsity sweep: unknown topology model %q (known: gnp, rgg)", model)
+	}
+	constructors := []protocols.Constructor{protocols.SimpleGlobalLine(), protocols.CycleCover()}
+	nn := int64(n)
+	budget := 32 * nn * nn * nn * nn
+
+	// The grid is protocols × degrees, in that order, so aggregate i
+	// maps back to (i / len(degrees), i % len(degrees)).
+	points := make([]campaign.Point, 0, len(constructors)*len(degrees))
+	specs := make([]*core.TopologySpec, len(degrees))
+	for i, d := range degrees {
+		if d < 0 {
+			return nil, fmt.Errorf("experiments: sparsity sweep: expected degree %g must be non-negative", d)
+		}
+		if d < float64(n-1) {
+			switch model {
+			case core.TopoGnp:
+				specs[i] = &core.TopologySpec{Kind: core.TopoGnp, Param: round4(d / float64(n-1))}
+			case core.TopoRGG:
+				specs[i] = &core.TopologySpec{Kind: core.TopoRGG, Param: round4(math.Sqrt(d / (math.Pi * float64(n-1))))}
+			}
+		}
+	}
+	for _, c := range constructors {
+		for i := range degrees {
+			points = append(points, campaign.Point{
+				Protocol:           c.Proto.Name(),
+				N:                  n,
+				Trials:             trials,
+				BaseSeed:           seed,
+				Proto:              c.Proto,
+				Detector:           core.QuiescenceDetector(),
+				Engine:             engine,
+				MaxSteps:           budget,
+				Topology:           specs[i],
+				IncludeUnconverged: true,
+				Metric:             campaign.MetricConvergenceTime,
+			})
+		}
+	}
+
+	out, err := campaign.Execute(context.Background(), points, campaign.Options{})
+	if err != nil {
+		return nil, err
+	}
+	result := make([]SparsityPoint, 0, len(points))
+	for i, agg := range out.Aggregates {
+		d := degrees[i%len(degrees)]
+		if agg.Converged+agg.Failures != trials {
+			return nil, fmt.Errorf("experiments: sparsity sweep %s d=%g lost runs: %+v", agg.Protocol, d, agg)
+		}
+		result = append(result, SparsityPoint{
+			Protocol:  agg.Protocol,
+			Degree:    d,
+			Topology:  agg.Topology,
+			Mean:      agg.Mean,
+			StdErr:    agg.StdErr,
+			Trials:    agg.Trials,
+			Converged: agg.Converged,
+		})
+	}
+	return result, nil
+}
+
+// round4 trims a derived topology parameter to four significant digits
+// so the record labels stay readable; the expected-degree mapping is
+// approximate anyway, and the sweep averages over the ensemble.
+func round4(x float64) float64 {
+	r, err := strconv.ParseFloat(strconv.FormatFloat(x, 'g', 4, 64), 64)
+	if err != nil {
+		return x
+	}
+	return r
+}

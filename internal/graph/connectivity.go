@@ -31,6 +31,40 @@ func (g *Graph) Components() [][]int {
 	return comps
 }
 
+// LargestComponent reports the size of the largest connected component
+// and the total number of components in one BFS pass — the
+// single-traversal variant of Components for callers needing only the
+// two summary numbers (isolated vertices count as size-1 components;
+// the empty graph reports 0, 0).
+func (g *Graph) LargestComponent() (size, count int) {
+	seen := make([]bool, g.n)
+	queue := make([]int, 0, g.n)
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		count++
+		seen[s] = true
+		queue = append(queue[:0], s)
+		sz := 1
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+					sz++
+				}
+			}
+		}
+		if sz > size {
+			size = sz
+		}
+	}
+	return size, count
+}
+
 // Connected reports whether the graph is connected (the empty graph and
 // singletons count as connected).
 func (g *Graph) Connected() bool {

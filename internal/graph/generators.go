@@ -1,0 +1,294 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// edgeGuard centralizes the self-loop / multi-edge rejection shared by
+// the random-graph generators. Accepted edges are inserted with
+// AddEdgeUnchecked, so construction stays O(n + m) instead of paying
+// AddEdge's O(deg) duplicate scan per insertion; the guard's seen set
+// answers the duplicate check in O(1).
+type edgeGuard struct {
+	g    *Graph
+	seen map[uint64]struct{}
+}
+
+func newEdgeGuard(g *Graph) *edgeGuard {
+	return &edgeGuard{g: g, seen: make(map[uint64]struct{})}
+}
+
+// add inserts {u, v} if it is a valid new simple edge — not a
+// self-loop, not already present — and reports whether it did.
+func (eg *edgeGuard) add(u, v int) bool {
+	if u == v {
+		return false
+	}
+	if u > v {
+		u, v = v, u
+	}
+	key := uint64(u)<<32 | uint64(v)
+	if _, dup := eg.seen[key]; dup {
+		return false
+	}
+	eg.seen[key] = struct{}{}
+	eg.g.AddEdgeUnchecked(u, v)
+	return true
+}
+
+// RandomGeometric samples a random geometric graph: n points uniform in
+// the unit square, an edge between every pair at Euclidean distance at
+// most r. Pairs are found with a cell grid of width ≥ r — each point is
+// compared only against its own and the adjacent cells — so
+// construction is O(n + m) in expectation rather than Θ(n²).
+func RandomGeometric(n int, r float64, rng *rand.Rand) *Graph {
+	g, _, _ := randomGeometric(n, r, rng)
+	return g
+}
+
+// randomGeometric also returns the sampled coordinates, so the property
+// tests can verify the cell-grid radius query against the O(n²)
+// definition.
+func randomGeometric(n int, r float64, rng *rand.Rand) (*Graph, []float64, []float64) {
+	g := New(n)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	if n == 0 || r <= 0 {
+		return g, xs, ys
+	}
+
+	// Cell width 1/cells ≥ r, so points within distance r always sit in
+	// the same or adjacent cells. The √n cap keeps the grid O(n) cells
+	// even for radii far below the typical nearest-neighbor distance
+	// (capping shrinks `cells`, which only widens the cells).
+	cells := int(1 / r)
+	if max := int(math.Sqrt(float64(n))) + 1; cells > max {
+		cells = max
+	}
+	if cells < 1 {
+		cells = 1
+	}
+	cellOf := func(x float64) int {
+		c := int(x * float64(cells))
+		if c >= cells {
+			c = cells - 1
+		}
+		return c
+	}
+	grid := make([][]int32, cells*cells)
+	for i := 0; i < n; i++ {
+		c := cellOf(ys[i])*cells + cellOf(xs[i])
+		grid[c] = append(grid[c], int32(i))
+	}
+
+	eg := newEdgeGuard(g)
+	r2 := r * r
+	near := func(u, v int) bool {
+		dx, dy := xs[u]-xs[v], ys[u]-ys[v]
+		return dx*dx+dy*dy <= r2
+	}
+	// Each unordered cell pair is scanned exactly once: within-cell
+	// pairs with i < j, then the four "forward" neighbor cells.
+	forward := [4][2]int{{1, 0}, {-1, 1}, {0, 1}, {1, 1}}
+	for cy := 0; cy < cells; cy++ {
+		for cx := 0; cx < cells; cx++ {
+			base := grid[cy*cells+cx]
+			for i := 0; i < len(base); i++ {
+				for j := i + 1; j < len(base); j++ {
+					if u, v := int(base[i]), int(base[j]); near(u, v) {
+						eg.add(u, v)
+					}
+				}
+			}
+			for _, d := range forward {
+				nx, ny := cx+d[0], cy+d[1]
+				if nx < 0 || nx >= cells || ny >= cells {
+					continue
+				}
+				for _, ui := range base {
+					for _, vi := range grid[ny*cells+nx] {
+						if u, v := int(ui), int(vi); near(u, v) {
+							eg.add(u, v)
+						}
+					}
+				}
+			}
+		}
+	}
+	return g, xs, ys
+}
+
+// ConfigurationModel samples a simple graph realizing the degree
+// sequence degs exactly. The sequence is validated with the
+// Erdős–Gallai criterion first; non-graphical sequences (including odd
+// total degree) are rejected with an error. Realization draws random
+// stub matchings — the configuration model proper — and rejects any
+// matching containing a self-loop or multi-edge; if no simple matching
+// appears within the attempt budget (possible only for dense
+// sequences, where collisions are likely), it falls back to a
+// Havel–Hakimi realization mixed by random double-edge swaps, which
+// still realizes every degree exactly.
+func ConfigurationModel(degs []int, rng *rand.Rand) (*Graph, error) {
+	n := len(degs)
+	total := 0
+	for u, d := range degs {
+		if d < 0 || d >= n {
+			return nil, fmt.Errorf("graph: degree %d of node %d outside [0, %d]", d, u, n-1)
+		}
+		total += d
+	}
+	if total%2 != 0 {
+		return nil, fmt.Errorf("graph: degree sequence sums to %d, which is odd", total)
+	}
+	if !ErdosGallai(degs) {
+		return nil, fmt.Errorf("graph: degree sequence is not graphical (Erdős–Gallai)")
+	}
+	stubs := make([]int32, 0, total)
+	for u, d := range degs {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, int32(u))
+		}
+	}
+	const attempts = 200
+	for a := 0; a < attempts; a++ {
+		g := New(n)
+		eg := newEdgeGuard(g)
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		ok := true
+		for i := 0; i+1 < len(stubs); i += 2 {
+			if !eg.add(int(stubs[i]), int(stubs[i+1])) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return g, nil
+		}
+	}
+	return havelHakimi(degs, rng)
+}
+
+// havelHakimi deterministically realizes a graphical degree sequence
+// (highest remaining degree connects to the next-highest ones), then
+// mixes the edge set with random double-edge swaps — each swap
+// preserves every degree — so the fallback is still randomized.
+func havelHakimi(degs []int, rng *rand.Rand) (*Graph, error) {
+	n := len(degs)
+	type rem struct{ node, deg int }
+	nodes := make([]rem, n)
+	for u, d := range degs {
+		nodes[u] = rem{u, d}
+	}
+	g := New(n)
+	eg := newEdgeGuard(g)
+	for {
+		sort.Slice(nodes, func(i, j int) bool {
+			if nodes[i].deg != nodes[j].deg {
+				return nodes[i].deg > nodes[j].deg
+			}
+			return nodes[i].node < nodes[j].node
+		})
+		d := nodes[0].deg
+		if d == 0 {
+			break
+		}
+		if d >= len(nodes) {
+			return nil, fmt.Errorf("graph: degree sequence is not graphical")
+		}
+		nodes[0].deg = 0
+		for i := 1; i <= d; i++ {
+			if nodes[i].deg == 0 {
+				return nil, fmt.Errorf("graph: degree sequence is not graphical")
+			}
+			nodes[i].deg--
+			eg.add(nodes[0].node, nodes[i].node)
+		}
+	}
+	edges := g.Edges()
+	if len(edges) < 2 {
+		return g, nil
+	}
+	key := func(u, v int) uint64 {
+		if u > v {
+			u, v = v, u
+		}
+		return uint64(u)<<32 | uint64(v)
+	}
+	seen := make(map[uint64]struct{}, len(edges))
+	for _, e := range edges {
+		seen[key(e[0], e[1])] = struct{}{}
+	}
+	for t := 0; t < 10*len(edges); t++ {
+		i, j := rng.IntN(len(edges)), rng.IntN(len(edges))
+		a, b := edges[i][0], edges[i][1]
+		c, d := edges[j][0], edges[j][1]
+		if rng.IntN(2) == 1 {
+			c, d = d, c
+		}
+		// Rewire {a,b},{c,d} → {a,c},{b,d} when both are valid new edges.
+		if a == c || a == d || b == c || b == d {
+			continue
+		}
+		if _, dup := seen[key(a, c)]; dup {
+			continue
+		}
+		if _, dup := seen[key(b, d)]; dup {
+			continue
+		}
+		delete(seen, key(a, b))
+		delete(seen, key(c, d))
+		seen[key(a, c)] = struct{}{}
+		seen[key(b, d)] = struct{}{}
+		edges[i] = [2]int{a, c}
+		edges[j] = [2]int{b, d}
+	}
+	out := New(n)
+	oeg := newEdgeGuard(out)
+	for _, e := range edges {
+		oeg.add(e[0], e[1])
+	}
+	return out, nil
+}
+
+// ErdosGallai reports whether a degree sequence is graphical — i.e.
+// realizable as a simple undirected graph: every degree in [0, n−1],
+// even total, and with d sorted descending,
+//
+//	Σ_{i≤k} dᵢ ≤ k(k−1) + Σ_{i>k} min(dᵢ, k)   for every k.
+//
+// O(n log n).
+func ErdosGallai(degs []int) bool {
+	n := len(degs)
+	if n == 0 {
+		return true
+	}
+	d := append([]int(nil), degs...)
+	sort.Sort(sort.Reverse(sort.IntSlice(d)))
+	if d[0] >= n || d[n-1] < 0 {
+		return false
+	}
+	prefix := make([]int64, n+1)
+	for i, x := range d {
+		prefix[i+1] = prefix[i] + int64(x)
+	}
+	if prefix[n]%2 != 0 {
+		return false
+	}
+	for k := 1; k <= n; k++ {
+		// First index ≥ k whose degree is < k (d is sorted descending):
+		// entries before it contribute min(dᵢ, k) = k, after it dᵢ.
+		lo := k + sort.Search(n-k, func(i int) bool { return d[k+i] < k })
+		rhs := int64(k)*int64(k-1) + int64(k)*int64(lo-k) + (prefix[n] - prefix[lo])
+		if prefix[k] > rhs {
+			return false
+		}
+	}
+	return true
+}

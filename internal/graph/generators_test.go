@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+// TestRandomGeometricMatchesBruteForce pins the cell-grid radius query
+// to the O(n²) definition: an edge exists iff the sampled points are
+// within distance r.
+func TestRandomGeometricMatchesBruteForce(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		r float64
+	}{
+		{0, 0.1}, {1, 0.1}, {2, 1.5}, {50, 0.05}, {200, 0.1}, {200, 0.4}, {64, 0.9},
+	} {
+		rng := rand.New(rand.NewPCG(7, uint64(tc.n)))
+		g, xs, ys := randomGeometric(tc.n, tc.r, rng)
+		r2 := tc.r * tc.r
+		for u := 0; u < tc.n; u++ {
+			for v := u + 1; v < tc.n; v++ {
+				dx, dy := xs[u]-xs[v], ys[u]-ys[v]
+				want := dx*dx+dy*dy <= r2
+				if got := g.HasEdge(u, v); got != want {
+					t.Fatalf("n=%d r=%g: edge {%d,%d} = %t, distance says %t", tc.n, tc.r, u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomGeometricEdgeDensity checks the edge count concentrates
+// around its expectation. For points uniform in the unit square the
+// per-pair connection probability is the boundary-corrected
+//
+//	p(r) = πr² − 8r³/3 + r⁴/2   (r ≤ 1)
+//
+// so E[m] = C(n,2)·p(r); averaging over many seeds must land within a
+// few relative percent.
+func TestRandomGeometricEdgeDensity(t *testing.T) {
+	n, r := 400, 0.08
+	pr := math.Pi*r*r - 8*r*r*r/3 + r*r*r*r/2
+	want := float64(n) * float64(n-1) / 2 * pr
+	const reps = 30
+	total := 0.0
+	for rep := 0; rep < reps; rep++ {
+		rng := rand.New(rand.NewPCG(uint64(rep)+1, 99))
+		total += float64(RandomGeometric(n, r, rng).M())
+	}
+	got := total / reps
+	if rel := math.Abs(got-want) / want; rel > 0.05 {
+		t.Fatalf("mean edge count %.1f, expected %.1f (relative error %.3f > 0.05)", got, want, rel)
+	}
+}
+
+// TestConfigurationModelRealizesDegrees verifies the sampled graph is
+// simple and realizes every requested degree exactly, across regimes
+// that exercise both the stub-matching path and (for near-complete
+// sequences) the Havel–Hakimi fallback.
+func TestConfigurationModelRealizesDegrees(t *testing.T) {
+	cases := [][]int{
+		{},
+		{0, 0, 0},
+		{1, 1},
+		{2, 2, 2, 2, 2},             // a cycle's sequence
+		{4, 4, 4, 4, 4, 4, 4, 4},    // regular, sparse enough to match
+		{3, 3, 3, 3},                // K4: every stub matching must be perfect
+		{5, 5, 5, 5, 5, 5},          // K6 — forces the fallback with high probability
+		{6, 2, 2, 2, 2, 1, 1, 1, 1}, // skewed
+	}
+	for i, degs := range cases {
+		rng := rand.New(rand.NewPCG(11, uint64(i)))
+		g, err := ConfigurationModel(append([]int(nil), degs...), rng)
+		if err != nil {
+			t.Fatalf("case %d %v: %v", i, degs, err)
+		}
+		if g.N() != len(degs) {
+			t.Fatalf("case %d: got %d nodes, want %d", i, g.N(), len(degs))
+		}
+		for u, d := range degs {
+			if g.Degree(u) != d {
+				t.Fatalf("case %d %v: node %d has degree %d, want %d", i, degs, u, g.Degree(u), d)
+			}
+		}
+		// Simplicity: no duplicate neighbors, no self-loops.
+		for u := 0; u < g.N(); u++ {
+			nbrs := g.Neighbors(u)
+			sort.Ints(nbrs)
+			for j, v := range nbrs {
+				if v == u {
+					t.Fatalf("case %d: self-loop at %d", i, u)
+				}
+				if j > 0 && nbrs[j-1] == v {
+					t.Fatalf("case %d: duplicate edge {%d,%d}", i, u, v)
+				}
+			}
+		}
+	}
+}
+
+// TestConfigurationModelRejectsNonGraphical covers the validation
+// failures: out-of-range degrees, odd totals, and sequences with even
+// total that still violate Erdős–Gallai.
+func TestConfigurationModelRejectsNonGraphical(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i, degs := range [][]int{
+		{3, 1},          // degree ≥ n
+		{-1, 1},         // negative
+		{1, 1, 1},       // odd total
+		{3, 3, 1, 1},    // even total, fails Erdős–Gallai at k=2
+		{4, 4, 4, 1, 1}, // ditto
+	} {
+		if _, err := ConfigurationModel(degs, rng); err == nil {
+			t.Fatalf("case %d %v: want error, got graph", i, degs)
+		}
+	}
+}
+
+// TestErdosGallai pins the criterion on known graphical and
+// non-graphical sequences.
+func TestErdosGallai(t *testing.T) {
+	for _, tc := range []struct {
+		degs []int
+		want bool
+	}{
+		{[]int{}, true},
+		{[]int{0}, true},
+		{[]int{1, 1}, true},
+		{[]int{2, 2, 2}, true},
+		{[]int{3, 3, 3, 3}, true},
+		{[]int{3, 3, 2, 2, 2, 2, 1, 1}, true},
+		{[]int{1}, false},          // odd total
+		{[]int{3, 3, 1, 1}, false}, // the classic EG failure
+		{[]int{4, 4, 4, 1, 1}, false},
+		{[]int{5, 1, 1, 1, 1, 1}, true}, // star K1,5
+		{[]int{5, 5, 1, 1, 1, 1}, false},
+	} {
+		if got := ErdosGallai(tc.degs); got != tc.want {
+			t.Errorf("ErdosGallai(%v) = %t, want %t", tc.degs, got, tc.want)
+		}
+	}
+}
+
+// TestLargestComponentAgreesWithComponents cross-checks the one-pass
+// variant against the full decomposition on random graphs spanning the
+// connectivity transition.
+func TestLargestComponentAgreesWithComponents(t *testing.T) {
+	for _, p := range []float64{0, 0.01, 0.05, 0.5, 1} {
+		rng := rand.New(rand.NewPCG(3, uint64(p*1000)))
+		g := Gnp(60, p, rng)
+		size, count := g.LargestComponent()
+		comps := g.Components()
+		wantCount := len(comps)
+		wantSize := 0
+		for _, c := range comps {
+			if len(c) > wantSize {
+				wantSize = len(c)
+			}
+		}
+		if size != wantSize || count != wantCount {
+			t.Fatalf("p=%g: LargestComponent = (%d, %d), Components says (%d, %d)", p, size, count, wantSize, wantCount)
+		}
+	}
+	if size, count := New(0).LargestComponent(); size != 0 || count != 0 {
+		t.Fatalf("empty graph: got (%d, %d), want (0, 0)", size, count)
+	}
+}

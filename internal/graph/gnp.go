@@ -8,10 +8,11 @@ import "math/rand/v2"
 // every graph on m vertices equally likely.
 func Gnp(n int, p float64, rng *rand.Rand) *Graph {
 	g := New(n)
+	eg := newEdgeGuard(g)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			if rng.Float64() < p {
-				g.AddEdge(u, v)
+				eg.add(u, v)
 			}
 		}
 	}
@@ -23,10 +24,11 @@ func Gnp(n int, p float64, rng *rand.Rand) *Graph {
 // paper's constructors perform with the PREL coin.
 func GnHalf(n int, coin func() bool) *Graph {
 	g := New(n)
+	eg := newEdgeGuard(g)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			if coin() {
-				g.AddEdge(u, v)
+				eg.add(u, v)
 			}
 		}
 	}
