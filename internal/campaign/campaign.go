@@ -265,6 +265,8 @@ type RunRecord struct {
 	SampleFallbacks       int64 `json:"sample_fallbacks,omitempty"`
 	BucketDraws           int64 `json:"bucket_draws,omitempty"`
 	ExactFallbackLandings int64 `json:"exact_fallback_landings,omitempty"`
+	CollapsedLandings     int64 `json:"collapsed_landings,omitempty"`
+	FastForwardEpochs     int64 `json:"fast_forward_epochs,omitempty"`
 	// DurationNS is wall-clock and therefore the one nondeterministic
 	// field of a record.
 	DurationNS int64  `json:"duration_ns"`

@@ -73,7 +73,8 @@ func WriteRunsCSV(w io.Writer, runs []RunRecord) error {
 		"engine", "converged", "stopped", "steps", "convergence_time",
 		"effective_steps", "edge_changes", "skipped_steps", "skip_batches",
 		"sample_rejections", "sample_fallbacks", "bucket_draws",
-		"exact_fallback_landings", "fault_crashes",
+		"exact_fallback_landings", "collapsed_landings",
+		"fast_forward_epochs", "fault_crashes",
 		"fault_edge_deletions", "fault_resets", "value", "duration_ns",
 		"attempts", "panicked", "err",
 	}); err != nil {
@@ -102,6 +103,8 @@ func WriteRunsCSV(w io.Writer, runs []RunRecord) error {
 			strconv.FormatInt(r.SampleFallbacks, 10),
 			strconv.FormatInt(r.BucketDraws, 10),
 			strconv.FormatInt(r.ExactFallbackLandings, 10),
+			strconv.FormatInt(r.CollapsedLandings, 10),
+			strconv.FormatInt(r.FastForwardEpochs, 10),
 			strconv.FormatInt(r.FaultCrashes, 10),
 			strconv.FormatInt(r.FaultEdgeDeletions, 10),
 			strconv.FormatInt(r.FaultResets, 10),

@@ -245,6 +245,8 @@ func runAttempt(ctx context.Context, pt *Point, pointIdx, trial int, timeout tim
 	rec.SampleFallbacks = res.Metrics.SampleFallbacks
 	rec.BucketDraws = res.Metrics.BucketDraws
 	rec.ExactFallbackLandings = res.Metrics.ExactFallbackLandings
+	rec.CollapsedLandings = res.Metrics.CollapsedLandings
+	rec.FastForwardEpochs = res.Metrics.FastForwardEpochs
 	metric := pt.Metric
 	if metric == nil {
 		metric = MetricConvergenceTime

@@ -4,12 +4,21 @@ import "math"
 
 // Bucket-plan sizing: plans start small, double on full consumption
 // and halve on truncation, so the planned horizon tracks the length of
-// the run's census-frozen stretches.
+// the run's census-frozen stretches. The ceiling is sized for the
+// swap-run collapse: a Simple-Global-Line walker's census-frozen
+// stretches grow with the squared line length, and every planned
+// landing the collapse absorbs costs O(1/64) of a popcount word — so
+// large plans are nearly free exactly when they are long-lived.
 const (
 	batchPlanMin   = 8
 	batchPlanStart = 16
-	batchPlanMax   = 512
+	batchPlanMax   = 1 << 15
 )
+
+// collapseMin is the swap-run length below which the collapse draws
+// (run length, gap total, displacement) cost more than the per-landing
+// kernel they replace.
+const collapseMin = 8
 
 // bucketPlan is the batch engine's pre-drawn allocation of the next k
 // landings to the enabled (state-class, state-class, edge-state)
@@ -71,6 +80,29 @@ func (pl *bucketPlan) drawCell(rng *RNG) int32 {
 			t -= pl.counts[idx]
 			idx++
 		}
+	}
+	pl.counts[idx]--
+	pl.remaining--
+	return pl.cells[idx]
+}
+
+// drawCellExcluding consumes one planned landing drawn over every cell
+// except the one at index skip — the conditioned draw right after a
+// collapsed run: the run ended precisely because the next landing is
+// some other cell, so the urn draw excludes the run's cell (whose
+// remaining count stays in the plan for later landings).
+func (pl *bucketPlan) drawCellExcluding(rng *RNG, skip int) int32 {
+	t := rng.Int64N(pl.remaining - pl.counts[skip])
+	idx := 0
+	for i, c := range pl.counts {
+		if i == skip {
+			continue
+		}
+		if t < c {
+			idx = i
+			break
+		}
+		t -= c
 	}
 	pl.counts[idx]--
 	pl.remaining--
@@ -174,12 +206,230 @@ func batchLoop(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, i
 	plan.remaining = 0
 	planEligible := false
 
+	// Swap-run state. Within a census-frozen stretch the plan's
+	// consumption order is an exchangeable shuffle of its count
+	// multiset, so the length of the opening run of any one cell is
+	// negative-hypergeometric in the remaining counts. Revealing a run
+	// on a deterministic-swap cell unlocks two tiers:
+	//
+	//   - the analytic collapse, when the cell hosts a single interior
+	//     walker (two listed edges sharing a degree-2 endpoint): the
+	//     whole run resolves into one displacement draw (the run is an
+	//     unconstrained ±1 walk while it stays on the safe segment —
+	//     batchIndex.walkChunk), one negative-binomial draw for the
+	//     scheduler gaps between its landings, and one teleport;
+	//   - the run kernel, otherwise (many walkers sharing the cell):
+	//     the run's landings are simulated individually — same draws,
+	//     same law — but in a tight loop with the cell fixed, skipping
+	//     the per-landing plan and detector bookkeeping that provably
+	//     does nothing inside a frozen stretch, and patching the index
+	//     with the census-invariant applySwapFast surgery.
+	//
+	// The run length J is revealed by a real sample, so it must be
+	// honored exactly: landings neither tier absorbs are forced through
+	// the per-landing kernel with the cell fixed (runLeft), and the
+	// landing after the run draws from the plan with the run cell
+	// excluded (breakerPending) — the run ended precisely because that
+	// landing is some other cell.
+	//
+	// Detector transparency: collapse is allowed when landings inside
+	// a frozen stretch provably cannot fire the detector — TriggerEdge
+	// (a swap changes no edge, so no check happens), or a weight-gated
+	// detector (the gate reads enabled/edgeEnabled, which are frozen
+	// with the census; the per-attempt check below refuses to collapse
+	// when an edge-quiescence gate is already open). Custom Stable
+	// predicates with effective or interval triggers observe the
+	// configuration itself and are never collapsed over. Classes whose
+	// swap would change the output graph are excluded by swapOut:
+	// ConvergenceTime tracks the last output change per landing, which
+	// the collapse does not reproduce.
+	var runLeft int64
+	runIdx := 0
+	breakerPending, breakerAfter := false, false
+	collapseGate := det.Trigger == TriggerEdge ||
+		det.Gate == GateQuiescence || det.Gate == GateEdgeQuiescence
+
 	var step int64
 	for step < maxSteps {
 		if opts.Stop != nil && opts.Stop() {
 			res.Stopped = true
 			res.Steps = step
 			return res
+		}
+
+		if collapseGate && plan.remaining > 0 && plan.gen == ix.gen &&
+			(det.Gate != GateEdgeQuiescence || ix.edgeEnabled > 0) {
+			if runLeft == 0 && !breakerPending {
+				// Establish the opening run of the plan's dominant
+				// eligible swap cell, if any. Runs of every length pay:
+				// the analytic tier needs long single-walker runs, but
+				// even a length-1 run routes through the run kernel at
+				// no extra cost over the per-landing urn draw.
+				best, bestIdx := int64(0), -1
+				for i, cell := range plan.cells {
+					if cell&1 == 1 && ix.swapCell[cell>>1] && !ix.swapOut[cell>>1] &&
+						plan.counts[i] > best {
+						best, bestIdx = plan.counts[i], i
+					}
+				}
+				if bestIdx >= 0 {
+					runIdx = bestIdx
+					runLeft = rng.NegHypergeometricRun(best, plan.remaining-best)
+					breakerAfter = plan.remaining > best
+					if runLeft == 0 {
+						breakerPending = breakerAfter
+					}
+				}
+			}
+			if runLeft >= collapseMin {
+				if chunk := ix.walkChunk(plan.cells[runIdx], runLeft); chunk >= collapseMin {
+					// The chunk's landings interleave with iid
+					// Geometric(m/total) scheduler misses, independent
+					// of the cell sequence: their total is one
+					// negative-binomial draw.
+					span := chunk
+					if fm := float64(ix.enabled); fm < total {
+						span += rng.NegBinomial(chunk, fm/total)
+					}
+					if rem := maxSteps - step; span > rem {
+						// The step budget ends inside the run. The
+						// span's draw sequence ends with its chunk-th
+						// landing; conditioned on (chunk, span) the
+						// other chunk−1 landings are uniform among the
+						// first span−1 draws, so the landings that fit
+						// the budget are hypergeometric. Displace by
+						// exactly those and the run is over.
+						k := rng.Hypergeometric(rem, chunk-1, span-1)
+						ix.collapseMove(rng.WalkDisplacement(k, 0))
+						res.EffectiveSteps += k
+						res.Metrics.CollapsedLandings += k
+						res.Metrics.SkippedSteps += rem - k
+						if rem > k {
+							res.Metrics.SkipBatches++
+						}
+						res.Metrics.FastForwardEpochs++
+						res.Steps = maxSteps
+						return res
+					}
+					ix.collapseMove(rng.WalkDisplacement(chunk, 0))
+					step += span
+					res.EffectiveSteps += chunk
+					res.Metrics.CollapsedLandings += chunk
+					res.Metrics.SkippedSteps += span - chunk
+					if span > chunk {
+						res.Metrics.SkipBatches++
+					}
+					res.Metrics.FastForwardEpochs++
+					plan.counts[runIdx] -= chunk
+					plan.remaining -= chunk
+					runLeft -= chunk
+					if runLeft == 0 {
+						breakerPending = breakerAfter
+					}
+					if plan.remaining == 0 && plan.size < batchPlanMax {
+						plan.size *= 2
+					}
+					continue
+				}
+			}
+			if runLeft > 0 {
+				// Run kernel: the run's landings cannot fire the
+				// detector (collapseGate) and their cell is already
+				// revealed, so simulate them in a tight loop — real
+				// per-landing gap, edge and swap draws, identical in
+				// law to the outer path, minus the per-landing plan
+				// and detector bookkeeping. A landing that leaves the
+				// uniform interior (applySwapFast declines) runs the
+				// generic index update; if that moves the census the
+				// plan dies right there — a stopping time of the
+				// landing sequence, exactly as on the outer path.
+				id := int(plan.cells[runIdx] >> 1)
+				ix.wpath.valid = false
+				drawGaps := float64(ix.enabled) < total
+				if drawGaps && ix.enabled != memoM {
+					memoM = ix.enabled
+					memoInv = -1 / math.Log1p(-float64(ix.enabled)/total)
+				}
+				// Metrics and plan counters are accumulated in locals
+				// and flushed once after the loop: the per-landing cost
+				// is the two RNG draws and the swap surgery itself.
+				nodes := cfg.nodes
+				list := ix.edgeList[id]
+				var done, skipped, batches int64
+				truncated, budgetOut := false, false
+				for done < runLeft {
+					if drawGaps {
+						skip := rng.GeometricExp(memoInv)
+						if skip >= maxSteps-step {
+							skipped += maxSteps - step
+							if maxSteps > step {
+								batches++
+							}
+							step = maxSteps
+							budgetOut = true
+							break
+						}
+						skipped += skip
+						if skip > 0 {
+							batches++
+						}
+						step += skip + 1
+					} else {
+						if step >= maxSteps {
+							budgetOut = true
+							break
+						}
+						step++
+					}
+					done++
+					key := list[rng.IntN(len(list))]
+					u, v := int(key>>32), int(key&0xffffffff)
+					beforeU, beforeV := nodes[u], nodes[v]
+					nodes[u], nodes[v] = beforeV, beforeU
+					if !ix.applySwapFast(u, v, beforeU, beforeV) {
+						genBefore := ix.gen
+						ix.applySwap(u, v, beforeU, beforeV)
+						if ix.gen != genBefore {
+							truncated = true
+							break
+						}
+						// A fallback that kept the census frozen may
+						// still have rewritten the cell's list in place;
+						// its length is pinned while gen is frozen, but
+						// reload the header to be safe.
+						list = ix.edgeList[id]
+					}
+				}
+				res.Metrics.Landings += done
+				res.Metrics.BucketDraws += done
+				res.Metrics.SkippedSteps += skipped
+				res.Metrics.SkipBatches += batches
+				res.EffectiveSteps += done
+				plan.counts[runIdx] -= done
+				plan.remaining -= done
+				runLeft -= done
+				if budgetOut {
+					res.Steps = maxSteps
+					return res
+				}
+				if truncated {
+					plan.remaining = 0
+					if plan.size > batchPlanMin {
+						plan.size /= 2
+					}
+					runLeft, breakerPending = 0, false
+					planEligible = false
+				} else {
+					if runLeft == 0 {
+						breakerPending = breakerAfter
+					}
+					if plan.remaining == 0 && plan.size < batchPlanMax {
+						plan.size *= 2
+					}
+					planEligible = true
+				}
+				continue
+			}
 		}
 
 		land := maxSteps + 1
@@ -222,7 +472,24 @@ func batchLoop(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, i
 		cell := int32(-1)
 		switch {
 		case plan.remaining > 0 && plan.gen == ix.gen:
-			cell = plan.drawCell(rng)
+			switch {
+			case runLeft > 0:
+				// Forced landing inside an established run the
+				// collapse could not absorb (walker near its segment
+				// boundary): the cell is already revealed.
+				cell = plan.cells[runIdx]
+				plan.counts[runIdx]--
+				plan.remaining--
+				runLeft--
+				if runLeft == 0 {
+					breakerPending = breakerAfter
+				}
+			case breakerPending:
+				cell = plan.drawCellExcluding(rng, runIdx)
+				breakerPending = false
+			default:
+				cell = plan.drawCell(rng)
+			}
 		case planEligible:
 			plan.build(ix, rng)
 			cell = plan.drawCell(rng)
@@ -248,7 +515,9 @@ func batchLoop(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, i
 		if kernel {
 			beforeU, beforeV := cfg.nodes[u], cfg.nodes[v]
 			cfg.nodes[u], cfg.nodes[v] = beforeV, beforeU
-			ix.applySwap(u, v, beforeU, beforeV)
+			if !ix.applySwapFast(u, v, beforeU, beforeV) {
+				ix.applySwap(u, v, beforeU, beforeV)
+			}
 			recordEffective(&res, p, cfg, nil, nil, nil, step, u, v, beforeU, beforeV, false)
 			effective = true
 		} else {
@@ -259,16 +528,24 @@ func batchLoop(p *Protocol, cfg *Config, det Detector, opts Options, maxSteps, i
 				recordEffective(&res, p, cfg, nil, nil, nil, step, u, v, beforeU, beforeV, edgeChanged)
 			}
 		}
+		if effective {
+			// A manually applied landing may have moved the walker (or
+			// restructured its segment) without bumping gen: the
+			// cached walk path no longer knows the walker's position.
+			ix.wpath.valid = false
+		}
 		if ix.gen != genBefore {
 			// Census moved: truncate any outstanding plan (the discarded
 			// suffix is exchangeable — dropping it at a stopping time
-			// preserves the law) and shrink the horizon.
+			// preserves the law) and shrink the horizon. Any revealed
+			// run dies with its plan.
 			if plan.remaining > 0 {
 				plan.remaining = 0
 				if plan.size > batchPlanMin {
 					plan.size /= 2
 				}
 			}
+			runLeft, breakerPending = 0, false
 			planEligible = false
 		} else {
 			if cell >= 0 && plan.remaining == 0 && plan.size < batchPlanMax {

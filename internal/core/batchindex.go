@@ -62,6 +62,7 @@ type batchIndex struct {
 	effMask  []uint8
 	listed   []bool
 	swapCell []bool
+	swapOut  []bool
 	touch    [][]int32
 
 	gen uint64
@@ -77,6 +78,11 @@ type batchIndex struct {
 	// workspace reuse and steady-state campaign trials stay
 	// allocation-free.
 	plan bucketPlan
+
+	// wpath is the swap-run collapse's cached walker segment (see
+	// walkChunk); like plan it lives here so its scan buffers survive
+	// workspace reuse.
+	wpath walkPath
 
 	rejections int64
 	fallbacks  int64
@@ -127,6 +133,7 @@ func (bi *batchIndex) reset(cfg *Config) {
 		bi.effMask = make([]uint8, q*q)
 		bi.listed = make([]bool, q*q)
 		bi.swapCell = make([]bool, q*q)
+		bi.swapOut = make([]bool, q*q)
 		bi.touch = make([][]int32, q)
 		bi.dirtyStamp = make([]uint64, q*q)
 		bi.proto = nil
@@ -167,6 +174,7 @@ func (bi *batchIndex) reset(cfg *Config) {
 	bi.rejections, bi.fallbacks = 0, 0
 	bi.gen, bi.stamp = 0, 0
 	bi.dirty = bi.dirty[:0]
+	bi.wpath.valid = false
 
 	for u, s := range cfg.nodes {
 		bi.slot[u] = int32(len(bi.byState[s]))
@@ -214,6 +222,11 @@ func (bi *batchIndex) rebuildMasks() {
 			e := p.lookup(State(a), State(b), true)
 			bi.swapCell[id] = a != b && e.effective && !e.alt &&
 				e.outA == State(b) && e.outB == State(a) && e.outEdge
+			// A swap changes the output graph iff exactly one of the
+			// two states is in Qout — collapse (which cannot track a
+			// per-landing ConvergenceTime) is restricted to classes
+			// where it does not.
+			bi.swapOut[id] = p.IsOutput(State(a)) != p.IsOutput(State(b))
 			if m != 0 {
 				bi.touch[a] = append(bi.touch[a], int32(id))
 				if b != a {
@@ -452,6 +465,91 @@ func (bi *batchIndex) applySwap(u, v int, beforeU, beforeV State) {
 	bi.flushDirty()
 }
 
+// applySwapFast applies the census-invariant interior-swap surgery:
+// when both swapped endpoints have exactly two active edges and their
+// outer neighbors share one state s, the swap provably moves no class
+// weight — class {beforeU, s} loses edge {u, x} and gains {v, y},
+// class {beforeV, s} the reverse, and every population count is
+// untouched — so instead of the generic reclassify/reweigh machinery
+// the two listed-edge keys are rewritten in place: no adjacency walk,
+// no dirty pass, no reweigh, and gen unchanged by construction. It
+// returns false (touching nothing) when the pattern does not apply;
+// the caller falls back to applySwap. Like applySwap it expects
+// cfg.nodes[u] and cfg.nodes[v] already exchanged by the caller.
+func (bi *batchIndex) applySwapFast(u, v int, beforeU, beforeV State) bool {
+	sp := bi.sp
+	if sp == nil {
+		return false
+	}
+	au, av := sp.adj[u], sp.adj[v]
+	if len(au) != 2 || len(av) != 2 {
+		return false
+	}
+	x := int(au[0])
+	if x == v {
+		x = int(au[1])
+	}
+	y := int(av[0])
+	if y == u {
+		y = int(av[1])
+	}
+	nodes := bi.cfg.nodes
+	s := nodes[x]
+	if s != nodes[y] {
+		return false
+	}
+	bi.byState[beforeU][bi.slot[u]] = int32(v)
+	bi.byState[beforeV][bi.slot[v]] = int32(u)
+	bi.slot[u], bi.slot[v] = bi.slot[v], bi.slot[u]
+	// Unlist both old keys before listing the new ones: edge {v, y}
+	// would transiently be mirrored in two classes otherwise, and the
+	// mirror scan matches on the endpoint pair alone.
+	idA := bi.classID(beforeU, s)
+	idB := bi.classID(beforeV, s)
+	slotA, haveA := bi.unlistEdge(u, x, idA)
+	slotB, haveB := bi.unlistEdge(v, y, idB)
+	if haveA {
+		bi.listEdgeAt(v, y, idA, slotA)
+	}
+	if haveB {
+		bi.listEdgeAt(u, x, idB, slotB)
+	}
+	return true
+}
+
+// unlistEdge removes the mirror entry of edge {a, b} (class id) and
+// returns the edge's slot in the class list; the list entry itself is
+// left in place for listEdgeAt to overwrite. Unlisted classes keep no
+// entries and report false — their counts are unchanged by a
+// same-class key replacement, so there is nothing to do.
+func (bi *batchIndex) unlistEdge(a, b, id int) (int32, bool) {
+	if !bi.listed[id] {
+		return 0, false
+	}
+	if a > b {
+		a, b = b, a
+	}
+	m := bi.mirror[a]
+	mi := 0
+	for m[mi].other != int32(b) {
+		mi++
+	}
+	slot := m[mi].slot
+	m[mi] = m[len(m)-1]
+	bi.mirror[a] = m[:len(m)-1]
+	return slot, true
+}
+
+// listEdgeAt writes edge {a, b} into class id's list at slot and
+// mirrors it at the lower endpoint.
+func (bi *batchIndex) listEdgeAt(a, b, id int, slot int32) {
+	if a > b {
+		a, b = b, a
+	}
+	bi.edgeList[id][slot] = uint64(a)<<32 | uint64(b)
+	bi.mirror[a] = append(bi.mirror[a], mirrorEntry{other: int32(b), class: int32(id), slot: slot})
+}
+
 // reclassifyIncident moves every active edge incident to u except
 // {u, v} from class {before, sx} to class {after, sx} — the
 // state-change fixup shared by Update and applySwap. On the sparse
@@ -530,4 +628,240 @@ func (bi *batchIndex) Sample(rng *RNG) (u, v int) {
 func (bi *batchIndex) sampleNonEdge(a, b int, rng *RNG) (int, int) {
 	return sampleNonEdgeClass(bi.cfg, bi.byState[a], bi.byState[b], a == b,
 		bi.edgeCount[a*bi.q+b], rng, &bi.rejections, &bi.fallbacks)
+}
+
+// ---------------------------------------------------------------------
+// Swap-run collapse support (see batchLoop's collapse block in
+// batch.go). A deterministic-swap class whose edge list holds exactly
+// two edges sharing an endpoint is a single walker on a line (or
+// cycle): the shared endpoint carries the walker state ws, its two
+// neighbours carry the partner state bs, and every landing on the
+// class moves the walker one position left or right with equal
+// probability. While the walker stays on a segment of nodes that all
+// have state bs and degree 2, no landing can change any class weight —
+// the census is frozen by construction, not just by observation — so k
+// consecutive landings form an unconstrained ±1 random walk and their
+// net displacement is one WalkDisplacement draw. walkPath caches that
+// segment so consecutive collapses against the same census pay one
+// adjacency scan, amortized O(1) per collapsed landing.
+
+// walkPath is the cached safe segment around a single walker, in path
+// coordinates: position 0 is the anchor node the path was scanned
+// from, negative positions extend through the first scan direction
+// (left), positive through the second (right).
+type walkPath struct {
+	left   []int32 // nodes at positions −1, −2, …
+	right  []int32 // nodes at positions +1, +2, …
+	anchor int32   // node at position 0 (the walker at scan time)
+	pos    int64   // walker's current position
+	lo, hi int64   // occupiable range: a walk staying in [lo, hi] is unconstrained
+	openL  bool    // the left scan stopped at its cap, not at an unsafe node
+	openR  bool
+	cyclic bool  // the segment closes into an all-safe cycle
+	ring   int64 // cycle length when cyclic
+	ws, bs State // walker and partner state of the cached class
+	gen    uint64
+	cell   int32
+	valid  bool
+}
+
+// node maps a path position to its node id. On a cycle the positions
+// wrap (ring = cycle length); the displacement law is symmetric, so
+// the direction convention is immaterial.
+func (wp *walkPath) node(p int64) int32 {
+	if wp.cyclic {
+		m := p % wp.ring
+		if m < 0 {
+			m += wp.ring
+		}
+		if m == 0 {
+			return wp.anchor
+		}
+		return wp.left[m-1]
+	}
+	switch {
+	case p == 0:
+		return wp.anchor
+	case p < 0:
+		return wp.left[-p-1]
+	default:
+		return wp.right[p-1]
+	}
+}
+
+// scanDir walks the line away from anchor starting at first, appending
+// safe nodes (state bs, degree 2) until an unsafe node or the cap.
+// ext is the furthest position the walker may occupy in this
+// direction: occupying position k needs positions 1…k safe and the
+// node at k+1 present with state bs (it becomes the walker's other
+// listed edge). open reports a cap stop — the segment continues but
+// was not scanned. wrapped reports the scan returning to the anchor:
+// an all-safe cycle.
+func (bi *batchIndex) scanDir(buf []int32, anchor, first int32, bs State, cap int64) (nodes []int32, ext int64, open, wrapped bool) {
+	nodes = buf
+	sp := bi.sp
+	cfg := bi.cfg
+	prev, cur := anchor, first
+	for {
+		if cur == anchor {
+			return nodes, int64(len(nodes)), false, true
+		}
+		if cfg.nodes[cur] != bs {
+			// cur cannot even serve as the lookahead neighbour of an
+			// occupied position.
+			return nodes, int64(len(nodes)) - 1, false, false
+		}
+		row := sp.adj[cur]
+		if len(row) != 2 {
+			// cur is a valid lookahead (state bs) but not occupiable:
+			// moving onto it would reclassify its extra or missing
+			// edges.
+			return nodes, int64(len(nodes)), false, false
+		}
+		if int64(len(nodes)) >= cap {
+			// Cap stop: the last appended node needs cur as lookahead,
+			// so the extent is one short of the scan.
+			return nodes, int64(len(nodes)) - 1, true, false
+		}
+		nodes = append(nodes, cur)
+		nxt := row[0]
+		if nxt == prev {
+			nxt = row[1]
+		}
+		prev, cur = cur, nxt
+	}
+}
+
+// buildWalkPath scans a fresh walkPath for swap class id, centred on
+// the single walker the class currently hosts. It returns false when
+// the class does not host exactly one interior walker (two listed
+// edges sharing a degree-2 endpoint) — multi-walker stretches fall
+// back to per-landing kernels.
+func (bi *batchIndex) buildWalkPath(id int, need int64) bool {
+	wp := &bi.wpath
+	wp.valid = false
+	sp := bi.sp
+	if sp == nil {
+		return false
+	}
+	list := bi.edgeList[id]
+	if len(list) != 2 {
+		return false
+	}
+	a0, b0 := int32(list[0]>>32), int32(list[0]&0xffffffff)
+	a1, b1 := int32(list[1]>>32), int32(list[1]&0xffffffff)
+	var c, n1, n2 int32
+	switch {
+	case a0 == a1:
+		c, n1, n2 = a0, b0, b1
+	case a0 == b1:
+		c, n1, n2 = a0, b0, a1
+	case b0 == a1:
+		c, n1, n2 = b0, a0, b1
+	case b0 == b1:
+		c, n1, n2 = b0, a0, a1
+	default:
+		return false // two separate walkers share the class
+	}
+	if len(sp.adj[c]) != 2 {
+		return false
+	}
+	ws := bi.cfg.nodes[c]
+	bs := State(id / bi.q)
+	if bs == ws {
+		bs = State(id % bi.q)
+	}
+	wp.anchor = c
+	wp.pos = 0
+	wp.ws, wp.bs = ws, bs
+	wp.cyclic, wp.ring = false, 0
+	scanCap := need + 1
+	var extL, extR int64
+	var wrapped bool
+	wp.left, extL, wp.openL, wrapped = bi.scanDir(wp.left[:0], c, n1, bs, scanCap)
+	if wrapped {
+		// The walker sits on an all-safe cycle: every position is
+		// occupiable and displacements wrap modulo the ring.
+		wp.cyclic = true
+		wp.ring = int64(len(wp.left)) + 1
+		wp.valid = true
+		return true
+	}
+	wp.right, extR, wp.openR, _ = bi.scanDir(wp.right[:0], c, n2, bs, scanCap)
+	wp.lo, wp.hi = -extL, extR
+	if wp.lo > 0 || wp.hi < 0 {
+		// A direction with extent −1 (the immediate neighbour is not
+		// even state bs) cannot happen for a listed swap edge, but keep
+		// the guard: an empty occupiable range means no collapse.
+		return false
+	}
+	wp.valid = true
+	return true
+}
+
+// walkChunk reports how many consecutive landings on swap cell can be
+// collapsed into one displacement draw right now: the distance from
+// the walker to the nearest unsafe position along its cached path,
+// bounded by need. Zero means the class does not currently host a
+// single interior walker. The cache is rebuilt when the census
+// generation moved, the cell changed, or a cap-stopped scan is the
+// binding constraint.
+func (bi *batchIndex) walkChunk(cell int32, need int64) int64 {
+	wp := &bi.wpath
+	id := int(cell >> 1)
+	if !wp.valid || wp.gen != bi.gen || wp.cell != cell {
+		if !bi.buildWalkPath(id, need) {
+			return 0
+		}
+		wp.gen, wp.cell = bi.gen, cell
+	}
+	if wp.cyclic {
+		return need
+	}
+	avail := min(wp.pos-wp.lo, wp.hi-wp.pos)
+	if avail < need && (wp.openL || wp.openR) {
+		// The scan cap, not the topology, limits the chunk: rescan
+		// around the walker's current position with the bigger horizon.
+		if !bi.buildWalkPath(id, need) {
+			return 0
+		}
+		wp.gen, wp.cell = bi.gen, cell
+		if wp.cyclic {
+			return need
+		}
+		avail = min(wp.pos-wp.lo, wp.hi-wp.pos)
+	}
+	return min(avail, need)
+}
+
+// collapseMove commits a collapsed swap run's net displacement d: the
+// walker state teleports from its current path position to position
+// pos+d — a two-node state exchange plus index fixup, identical in
+// effect to |d| single swaps along the segment. Every class weight is
+// provably unchanged (the walker's two listed edges drop and two new
+// ones add in the same class; the traversed interior keeps state bs),
+// so gen stays put and any outstanding plan survives. d = 0 (or a
+// full wrap on a cycle) leaves the configuration untouched.
+func (bi *batchIndex) collapseMove(d int64) {
+	wp := &bi.wpath
+	from := int(wp.node(wp.pos))
+	wp.pos += d
+	to := int(wp.node(wp.pos))
+	if from == to {
+		return
+	}
+	ws, bs := wp.ws, wp.bs
+	cfg := bi.cfg
+	cfg.nodes[from] = bs
+	cfg.nodes[to] = ws
+	bi.byState[ws][bi.slot[from]] = int32(to)
+	bi.byState[bs][bi.slot[to]] = int32(from)
+	bi.slot[from], bi.slot[to] = bi.slot[to], bi.slot[from]
+	bi.stamp++
+	// Mutual exclusion mirrors applySwap: when |d| = 1 the {from, to}
+	// edge's unordered class is unchanged and must not be touched; for
+	// larger jumps the exclusion never matches.
+	bi.reclassifyIncident(from, to, ws, bs)
+	bi.reclassifyIncident(to, from, bs, ws)
+	bi.flushDirty()
 }

@@ -85,7 +85,10 @@ func TestEventSinkDoesNotPerturbRuns(t *testing.T) {
 // TestEventStreamAccounting checks the stream's structural laws on
 // every engine: a single start/end envelope, step events equal to
 // effective steps, skip batches summing to Metrics.SkippedSteps, and
-// Steps = Landings + SkippedSteps. On the indexed engines the skip
+// Steps = Landings + SkippedSteps + CollapsedLandings (the collapse
+// term is zero whenever events are attached — sinks force the exact
+// path — but the assertion states the engine-wide law; the pure batch
+// path is pinned by TestBatchCollapseWalkLaw). On the indexed engines the skip
 // batches plus the step events must tile 1..Steps exactly — expanding
 // the batches reconstructs every draw position.
 func TestEventStreamAccounting(t *testing.T) {
@@ -114,8 +117,9 @@ func TestEventStreamAccounting(t *testing.T) {
 			t.Fatalf("%s: %d step events, want EffectiveSteps=%d", eng, len(steps), res.EffectiveSteps)
 		}
 		m := res.Metrics
-		if m.Landings+m.SkippedSteps != res.Steps {
-			t.Fatalf("%s: Landings %d + SkippedSteps %d != Steps %d", eng, m.Landings, m.SkippedSteps, res.Steps)
+		if m.Landings+m.SkippedSteps+m.CollapsedLandings != res.Steps {
+			t.Fatalf("%s: Landings %d + SkippedSteps %d + CollapsedLandings %d != Steps %d",
+				eng, m.Landings, m.SkippedSteps, m.CollapsedLandings, res.Steps)
 		}
 		var skipped int64
 		for _, e := range sink.ofKind(core.EventSkip) {

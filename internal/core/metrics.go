@@ -51,6 +51,17 @@ type Metrics struct {
 	BucketDraws           int64 `json:"bucket_draws,omitempty"`
 	ExactFallbackLandings int64 `json:"exact_fallback_landings,omitempty"`
 
+	// CollapsedLandings counts the landings the batch engine resolved
+	// analytically through the swap-run collapse — landings that were
+	// never individually simulated (they are not in Landings or
+	// BucketDraws). On every engine
+	// Landings + SkippedSteps + CollapsedLandings = Steps.
+	// FastForwardEpochs counts the analytic jumps those landings
+	// arrived in: one per collapsed chunk, including the final
+	// hypergeometric jump when the step budget ends inside a run.
+	CollapsedLandings int64 `json:"collapsed_landings,omitempty"`
+	FastForwardEpochs int64 `json:"fast_forward_epochs,omitempty"`
+
 	// WorkspaceResets counts the in-place component resets
 	// (configuration, index, RNG) the run's workspace performed instead
 	// of fresh allocations. Zero without Options.Workspace.

@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"math/rand/v2"
+
+	"repro/internal/stats"
 )
 
 // RNG is the deterministic random source used throughout the simulator:
@@ -41,6 +43,16 @@ func (r *RNG) Coin() bool { return r.src.Uint64()&1 == 1 }
 
 // Float64 returns a uniform float in [0, 1).
 func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// Uint64 returns a uniform 64-bit word. Together with Float64,
+// ExpFloat64 and NormFloat64 this makes RNG satisfy stats.Source.
+func (r *RNG) Uint64() uint64 { return r.src.Uint64() }
+
+// ExpFloat64 returns an Exponential(1) variate.
+func (r *RNG) ExpFloat64() float64 { return r.src.ExpFloat64() }
+
+// NormFloat64 returns a standard normal variate.
+func (r *RNG) NormFloat64() float64 { return r.src.NormFloat64() }
 
 // Perm returns a random permutation of [0, n).
 func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
@@ -98,99 +110,45 @@ func (r *RNG) GeometricExp(invLambda float64) int64 {
 }
 
 // Binomial returns the number of successes in n independent
-// Bernoulli(p) trials, by CDF inversion on a single uniform draw —
-// exact up to float64 rounding of the CDF, like GeometricLn. The walk
-// is O(n·min(p, 1−p)) expected, which is what the batch engine needs:
-// its plans draw Binomial(k, w/W) for plan sizes k of a few hundred.
-// Very large n·p splits the draw into independent halves so the
-// starting mass (1−p)ⁿ stays representable.
+// Bernoulli(p) trials — stats.Binomial on this source: exact CDF
+// inversion (with popcount counting for fair coins), O(n·min(p, 1−p))
+// expected, which is what the batch engine needs: its plans draw
+// Binomial(k, w/W) for plan sizes k of a few hundred.
 func (r *RNG) Binomial(n int64, p float64) int64 {
-	if n <= 0 || p <= 0 {
-		return 0
-	}
-	if p >= 1 {
-		return n
-	}
-	if p > 0.5 {
-		return n - r.Binomial(n, 1-p)
-	}
-	if float64(n)*math.Log1p(-p) < -700 {
-		half := n / 2
-		return r.Binomial(half, p) + r.Binomial(n-half, p)
-	}
-	u := r.Float64()
-	q := 1 - p
-	pmf := math.Pow(q, float64(n))
-	cdf := pmf
-	ratio := p / q
-	var k int64
-	for u > cdf && k < n {
-		k++
-		pmf *= ratio * float64(n-k+1) / float64(k)
-		cdf += pmf
-	}
-	return k
+	return stats.Binomial(r.src, n, p)
 }
 
 // Hypergeometric returns how many of `draws` draws without
 // replacement, from a population of `total` items of which `marked`
-// are marked, hit marked items. CDF inversion like Binomial, with the
-// starting mass computed through lgamma; a starting mass below float64
-// range splits the draw into two rounds on the depleted urn, which is
-// exact by the urn decomposition. It must hold 0 ≤ marked ≤ total and
-// draws ≤ total.
+// are marked, hit marked items — stats.Hypergeometric on this source.
+// It must hold 0 ≤ marked ≤ total and draws ≤ total.
 func (r *RNG) Hypergeometric(draws, marked, total int64) int64 {
-	if draws < 0 || marked < 0 || marked > total || draws > total {
-		panic("core: Hypergeometric requires 0 ≤ draws, marked ≤ total")
-	}
-	if draws == 0 || marked == 0 {
-		return 0
-	}
-	if draws == total {
-		return marked
-	}
-	if marked == total {
-		return draws
-	}
-	// Symmetries keep the inversion walk short: complementing the
-	// marks, and swapping the roles of the drawn and marked subsets
-	// (both exact identities of the distribution).
-	if marked > total-marked {
-		return draws - r.Hypergeometric(draws, total-marked, total)
-	}
-	if draws > marked {
-		return r.Hypergeometric(marked, draws, total)
-	}
-	// ln pmf(0) = ln C(total−marked, draws) − ln C(total, draws).
-	lp := lnChoose(total-marked, draws) - lnChoose(total, draws)
-	if lp < -700 {
-		half := draws / 2
-		k1 := r.Hypergeometric(half, marked, total)
-		return k1 + r.Hypergeometric(draws-half, marked-k1, total-half)
-	}
-	u := r.Float64()
-	pmf := math.Exp(lp)
-	cdf := pmf
-	maxK := draws
-	if marked < maxK {
-		maxK = marked
-	}
-	var k int64
-	for u > cdf && k < maxK {
-		pmf *= float64(marked-k) * float64(draws-k) /
-			(float64(k+1) * float64(total-marked-draws+k+1))
-		k++
-		cdf += pmf
-	}
-	return k
+	return stats.Hypergeometric(r.src, draws, marked, total)
 }
 
-// lnChoose returns ln C(n, k) via lgamma.
-func lnChoose(n, k int64) float64 {
-	a, _ := math.Lgamma(float64(n + 1))
-	b, _ := math.Lgamma(float64(k + 1))
-	c, _ := math.Lgamma(float64(n - k + 1))
-	return a - b - c
+// NegBinomial returns the failures before the r-th success in
+// Bernoulli(p) trials — the sum of r iid Geometric(p) gaps, which is
+// how the batch engine charges the scheduler misses of a collapsed
+// swap run in one draw. Exact gamma–Poisson mixture; see
+// stats.NegBinomial.
+func (r *RNG) NegBinomial(n int64, p float64) int64 {
+	return stats.NegBinomial(r.src, n, p)
+}
+
+// WalkDisplacement returns the exact net displacement of a
+// `steps`-step lazy random walk (hold probability `stay`) in one draw
+// — the swap-run collapse kernel's single sample. See
+// stats.WalkDisplacement.
+func (r *RNG) WalkDisplacement(steps int64, stay float64) int64 {
+	return stats.WalkDisplacement(r.src, steps, stay)
+}
+
+// NegHypergeometricRun returns the length of the opening run of
+// marked items in a uniform shuffle of marked+unmarked items — the
+// law of "consecutive same-class landings before the next other-class
+// landing" within a bucket plan. See stats.NegHypergeometricRun.
+func (r *RNG) NegHypergeometricRun(marked, unmarked int64) int64 {
+	return stats.NegHypergeometricRun(r.src, marked, unmarked)
 }
 
 // MultinomialBuckets distributes k categorical draws over buckets

@@ -139,10 +139,22 @@ type sparseStore struct {
 	adj [][]int32
 }
 
+// find locates v in u's sorted adjacency row: a hand-rolled binary
+// search — on protocol graphs the rows are a few entries long and the
+// engines call this on every edge probe, so the sort.Search closure
+// indirection is measurable.
 func (s *sparseStore) find(u, v int) (int, bool) {
 	row := s.adj[u]
-	i := sort.Search(len(row), func(i int) bool { return row[i] >= int32(v) })
-	return i, i < len(row) && row[i] == int32(v)
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row[mid] < int32(v) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(row) && row[lo] == int32(v)
 }
 
 func (s *sparseStore) get(u, v int) bool {

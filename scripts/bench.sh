@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Regenerates the tracked benchmark artifacts — BENCH_batch.json,
+# BENCH_campaign.json, BENCH_topology.json, BENCH_observer.json — with
+# the pinned -benchtime each suite is calibrated for. CI runs this
+# script per suite and uploads the files; run it locally (optionally
+# with a subset of suite names) to reproduce the numbers quoted in
+# ARCHITECTURE.md and EXPERIMENTS.md. The -benchtime pins are part of
+# the artifact contract: trend comparisons across commits assume every
+# row was measured with the same iteration count.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+suites="$*"
+if [ -z "$suites" ]; then
+  suites="batch campaign topology observer"
+fi
+
+for suite in $suites; do
+  case "$suite" in
+    batch)
+      go test -run '^$' -bench BenchmarkBatchVsSparse -benchtime 1x -benchmem -json . | tee BENCH_batch.json
+      ;;
+    campaign)
+      go test -run '^$' -bench BenchmarkCampaignThroughput -benchtime 3x -benchmem -json . | tee BENCH_campaign.json
+      ;;
+    topology)
+      go test -run '^$' -bench BenchmarkTopologyOverhead -benchtime 1x -benchmem -json . | tee BENCH_topology.json
+      ;;
+    observer)
+      go test -run '^$' -bench 'BenchmarkObserverOff|BenchmarkEventStream' -benchtime 3x -benchmem -json . | tee BENCH_observer.json
+      ;;
+    *)
+      echo "unknown suite: $suite (want batch, campaign, topology, observer)" >&2
+      exit 2
+      ;;
+  esac
+done
